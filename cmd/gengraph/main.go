@@ -1,0 +1,74 @@
+// Command gengraph emits benchmark graphs in METIS format.
+//
+//	gengraph -type rgg -scale 15 > rgg15.graph
+//	gengraph -type road -n 40000 -out deu.graph
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		typ   = flag.String("type", "rgg", "rgg | delaunay | grid | grid3d | road | social | rmat | fem | banded | er")
+		scale = flag.Int("scale", 14, "log2 node count (rgg, delaunay, rmat)")
+		n     = flag.Int("n", 10000, "node count (road, social, fem, banded, er)")
+		w     = flag.Int("w", 64, "grid width / 3d x")
+		h     = flag.Int("h", 64, "grid height / 3d y")
+		d     = flag.Int("d", 8, "3d z; social attachment degree")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *typ {
+	case "rgg":
+		g = gen.RGG(*scale, *seed)
+	case "delaunay":
+		g = gen.DelaunayX(*scale, *seed)
+	case "grid":
+		g = gen.Grid2D(*w, *h)
+	case "grid3d":
+		g = gen.Grid3D(*w, *h, *d)
+	case "road":
+		g = gen.Road(*n, 8, *seed)
+	case "social":
+		g = gen.PrefAttach(*n, *d, *seed)
+	case "rmat":
+		g = gen.RMAT(*scale, 10, *seed)
+	case "fem":
+		g = gen.FEMMesh(*n, 8, *seed)
+	case "banded":
+		g = gen.Banded(*n, 10, 30, 0.7, *seed)
+	case "er":
+		g = gen.ErdosRenyi(*n, 8**n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown type %q\n", *typ)
+		os.Exit(1)
+	}
+
+	var f *os.File = os.Stdout
+	if *out != "" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	bw := bufio.NewWriter(f)
+	if err := g.WriteMetis(bw); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	bw.Flush()
+	fmt.Fprintf(os.Stderr, "gengraph: %s n=%d m=%d\n", *typ, g.NumNodes(), g.NumEdges())
+}

@@ -1,0 +1,198 @@
+// Command kappa partitions a graph with the KaPPa partitioner.
+//
+// The input is either a METIS-format graph file or a named synthetic
+// generator. Examples:
+//
+//	kappa -in mesh.graph -k 16 -preset strong -out mesh.part
+//	kappa -gen rgg:15 -k 64 -preset fast
+//	kappa -gen road:40000 -k 8 -eps 0.05 -seed 7
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+func main() {
+	var (
+		inFile  = flag.String("in", "", "input graph in METIS format")
+		genSpec = flag.String("gen", "", "generator spec: rgg:S | delaunay:S | grid:WxH | grid3d:XxYxZ | road:N | social:N | rmat:S | fem:N | banded:N")
+		k       = flag.Int("k", 2, "number of blocks")
+		preset  = flag.String("preset", "fast", "minimal | fast | strong")
+		eps     = flag.Float64("eps", 0.03, "allowed imbalance")
+		seed    = flag.Uint64("seed", 0, "random seed")
+		outFile = flag.String("out", "", "write the block of each node, one per line")
+		pes     = flag.Int("pes", 0, "number of simulated PEs for coarsening (default: k)")
+		eval    = flag.String("eval", "", "evaluate (and refine) an existing partition file instead of partitioning from scratch")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*inFile, *genSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kappa:", err)
+		os.Exit(1)
+	}
+	var variant core.Variant
+	switch strings.ToLower(*preset) {
+	case "minimal":
+		variant = core.Minimal
+	case "fast":
+		variant = core.Fast
+	case "strong":
+		variant = core.Strong
+	default:
+		fmt.Fprintf(os.Stderr, "kappa: unknown preset %q\n", *preset)
+		os.Exit(1)
+	}
+	cfg := core.NewConfig(variant, *k)
+	cfg.Eps = *eps
+	cfg.Seed = *seed
+	cfg.PEs = *pes
+
+	if *eval != "" {
+		blocks, err := readPartition(*eval, g.NumNodes())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kappa:", err)
+			os.Exit(1)
+		}
+		cut, bal, feasible := evalBlocks(g, *k, *eps, blocks)
+		fmt.Printf("input partition: cut=%d balance=%.4f feasible=%v\n", cut, bal, feasible)
+		refined, rcut := core.RefineExisting(g, cfg, blocks)
+		rcutCheck, rbal, rfeasible := evalBlocks(g, *k, *eps, refined)
+		_ = rcutCheck
+		fmt.Printf("after refining:  cut=%d balance=%.4f feasible=%v\n", rcut, rbal, rfeasible)
+		if *outFile != "" {
+			writePartition(*outFile, refined)
+		}
+		return
+	}
+
+	res := core.Partition(g, cfg)
+	p := part.FromBlocks(g, *k, *eps, res.Blocks)
+	fmt.Printf("graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("preset    %s (k=%d, eps=%.2f)\n", variant, *k, *eps)
+	fmt.Printf("cut       %d\n", res.Cut)
+	fmt.Printf("balance   %.4f (Lmax %d, feasible %v)\n", res.Balance, p.Lmax(), p.Feasible())
+	fmt.Printf("levels    %d\n", res.Levels)
+	fmt.Printf("time      total %v (coarsen %v, init %v, refine %v)\n",
+		res.TotalTime.Round(1e6), res.CoarsenTime.Round(1e6), res.InitTime.Round(1e6), res.RefineTime.Round(1e6))
+
+	if *outFile != "" {
+		writePartition(*outFile, res.Blocks)
+		fmt.Printf("partition written to %s\n", *outFile)
+	}
+}
+
+func evalBlocks(g *graph.Graph, k int, eps float64, blocks []int32) (int64, float64, bool) {
+	p := part.FromBlocks(g, k, eps, blocks)
+	return p.Cut(), p.Imbalance(), p.Feasible()
+}
+
+// readPartition parses a one-block-per-line partition file.
+func readPartition(path string, n int) ([]int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	blocks := make([]int32, 0, n)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("bad partition line %q: %w", line, err)
+		}
+		blocks = append(blocks, int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(blocks) != n {
+		return nil, fmt.Errorf("partition file has %d entries, graph has %d nodes", len(blocks), n)
+	}
+	return blocks, nil
+}
+
+func writePartition(path string, blocks []int32) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kappa:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(f)
+	for _, b := range blocks {
+		fmt.Fprintln(w, b)
+	}
+	w.Flush()
+	f.Close()
+}
+
+func loadGraph(inFile, genSpec string) (*graph.Graph, error) {
+	switch {
+	case inFile != "":
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadMetis(f)
+	case genSpec != "":
+		return generate(genSpec)
+	default:
+		return nil, fmt.Errorf("need -in or -gen")
+	}
+}
+
+func generate(spec string) (*graph.Graph, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	atoi := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	switch kind {
+	case "rgg":
+		return gen.RGG(atoi(arg), 1), nil
+	case "delaunay":
+		return gen.DelaunayX(atoi(arg), 1), nil
+	case "grid":
+		w, h, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("grid spec must be WxH")
+		}
+		return gen.Grid2D(atoi(w), atoi(h)), nil
+	case "grid3d":
+		parts := strings.Split(arg, "x")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("grid3d spec must be XxYxZ")
+		}
+		return gen.Grid3D(atoi(parts[0]), atoi(parts[1]), atoi(parts[2])), nil
+	case "road":
+		return gen.Road(atoi(arg), 8, 1), nil
+	case "social":
+		return gen.PrefAttach(atoi(arg), 5, 1), nil
+	case "rmat":
+		return gen.RMAT(atoi(arg), 10, 1), nil
+	case "fem":
+		return gen.FEMMesh(atoi(arg), 8, 1), nil
+	case "banded":
+		return gen.Banded(atoi(arg), 10, 30, 0.7, 1), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
+	}
+}

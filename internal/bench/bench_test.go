@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"time"
+)
+
+// tiny keeps harness tests fast: single rep, small k.
+var tiny = Options{Reps: 1, Ks: []int{4}}
+
+func TestSuitesNonEmptyAndCached(t *testing.T) {
+	if len(Calibration()) == 0 || len(Large()) == 0 || len(Walshaw()) == 0 {
+		t.Fatal("empty suite")
+	}
+	in := Calibration()[0]
+	if in.Graph() != in.Graph() {
+		t.Fatal("instance graph not cached")
+	}
+	if ByName("rgg13") == nil || ByName("nonexistent") != nil {
+		t.Fatal("ByName lookup broken")
+	}
+	if len(LargeCoord()) != 4 {
+		t.Fatalf("LargeCoord has %d instances, want 4", len(LargeCoord()))
+	}
+	if len(Scalability()) != 3 {
+		t.Fatalf("Scalability has %d instances, want 3", len(Scalability()))
+	}
+}
+
+func TestRunKaPPaAndAgg(t *testing.T) {
+	in := ByName("grid64")
+	row := RunKaPPa(in.Graph(), core.NewConfig(core.Minimal, 4), 2)
+	if row.AvgCut <= 0 || row.BestCut <= 0 || row.AvgTime <= 0 {
+		t.Fatalf("bad row: %+v", row)
+	}
+	if float64(row.BestCut) > row.AvgCut+1e-9 {
+		t.Fatal("best cut above average")
+	}
+	var agg Agg
+	agg.Add(row)
+	agg.Add(row)
+	cut, best, bal, sec := agg.Mean()
+	if cut <= 0 || best <= 0 || bal < 1 || sec <= 0 {
+		t.Fatalf("bad means: %v %v %v %v", cut, best, bal, sec)
+	}
+}
+
+func TestRunTool(t *testing.T) {
+	in := ByName("grid64")
+	row := RunTool(in.Graph(), 4, 0.03, baseline.KMetisLike, 1)
+	if row.AvgCut <= 0 {
+		t.Fatalf("bad row: %+v", row)
+	}
+}
+
+func TestAggEmpty(t *testing.T) {
+	var agg Agg
+	cut, best, bal, sec := agg.Mean()
+	if cut != 0 || best != 0 || bal != 0 || sec != 0 {
+		t.Fatal("empty Agg must return zeros")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, name := range []string{"rgg13", "rgg16", "w-grid", "eur-like"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	Table3(&buf, tiny)
+	out := buf.String()
+	for _, s := range []string{"expansion*2", "weight", "gpa", "shem", "greedy"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("Table 3 missing %q", s)
+		}
+	}
+}
+
+func TestTable4LeftSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	Table4Left(&buf, tiny)
+	for _, s := range []string{"TopGain", "MaxLoad", "Alternate"} {
+		if !strings.Contains(buf.String(), s) {
+			t.Fatalf("Table 4 left missing %q", s)
+		}
+	}
+}
+
+func TestWalshawSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	TableWalshaw(&buf, 0.03, Options{Reps: 1, Ks: []int{2, 4}})
+	out := buf.String()
+	if !strings.Contains(out, "w-grid") {
+		t.Fatal("Walshaw table missing instance")
+	}
+	// Every cell must have been filled with a feasible result.
+	if strings.Contains(out, "-1") {
+		t.Fatalf("Walshaw table has unfilled cells:\n%s", out)
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	AblationGapMatching(&buf, tiny)
+	if !strings.Contains(buf.String(), "true") || !strings.Contains(buf.String(), "false") {
+		t.Fatal("gap ablation output incomplete")
+	}
+}
+
+func TestRowTimeAveraging(t *testing.T) {
+	in := ByName("grid64")
+	row := RunKaPPa(in.Graph(), core.NewConfig(core.Minimal, 2), 3)
+	if row.AvgTime > time.Minute {
+		t.Fatalf("implausible average time %v", row.AvgTime)
+	}
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// Row aggregates repeated runs of one configuration on one instance, the
+// way the paper reports them: average cut, best cut, average balance,
+// average time.
+type Row struct {
+	AvgCut  float64
+	BestCut int64
+	AvgBal  float64
+	AvgTime time.Duration
+}
+
+// RunKaPPa runs cfg on g `reps` times with different seeds.
+func RunKaPPa(g *graph.Graph, cfg core.Config, reps int) Row {
+	if reps < 1 {
+		reps = 1
+	}
+	var row Row
+	var totalCut, totalBal float64
+	var totalTime time.Duration
+	for i := 0; i < reps; i++ {
+		cfg.Seed = uint64(i)*0x5bd1e995 + 7
+		res := core.Partition(g, cfg)
+		totalCut += float64(res.Cut)
+		totalBal += res.Balance
+		totalTime += res.TotalTime
+		if i == 0 || res.Cut < row.BestCut {
+			row.BestCut = res.Cut
+		}
+	}
+	row.AvgCut = totalCut / float64(reps)
+	row.AvgBal = totalBal / float64(reps)
+	row.AvgTime = totalTime / time.Duration(reps)
+	return row
+}
+
+// RunTool runs a baseline partitioner `reps` times with different seeds.
+func RunTool(g *graph.Graph, k int, eps float64, tool baseline.Tool, reps int) Row {
+	if reps < 1 {
+		reps = 1
+	}
+	var row Row
+	var totalCut, totalBal float64
+	var totalTime time.Duration
+	for i := 0; i < reps; i++ {
+		res := baseline.Run(g, k, eps, tool, uint64(i)*0x5bd1e995+7)
+		totalCut += float64(res.Cut)
+		totalBal += res.Balance
+		totalTime += res.Time
+		if i == 0 || res.Cut < row.BestCut {
+			row.BestCut = res.Cut
+		}
+	}
+	row.AvgCut = totalCut / float64(reps)
+	row.AvgBal = totalBal / float64(reps)
+	row.AvgTime = totalTime / time.Duration(reps)
+	return row
+}
+
+// Agg accumulates per-instance rows into the geometric means the paper
+// reports ("when averaging over multiple instances, we use the geometric
+// mean in order to give every instance the same influence").
+type Agg struct {
+	logCut, logBest, logBal, logTime float64
+	n                                int
+}
+
+// Add accumulates one row.
+func (a *Agg) Add(r Row) {
+	a.logCut += math.Log(math.Max(r.AvgCut, 1))
+	a.logBest += math.Log(math.Max(float64(r.BestCut), 1))
+	a.logBal += math.Log(math.Max(r.AvgBal, 1e-9))
+	a.logTime += math.Log(math.Max(r.AvgTime.Seconds(), 1e-9))
+	a.n++
+}
+
+// Mean returns the geometric means of the accumulated rows.
+func (a *Agg) Mean() (cut, best, bal, timeSec float64) {
+	if a.n == 0 {
+		return 0, 0, 0, 0
+	}
+	n := float64(a.n)
+	return math.Exp(a.logCut / n), math.Exp(a.logBest / n), math.Exp(a.logBal / n), math.Exp(a.logTime / n)
+}
+
+// evaluate wraps part.FromBlocks for the tables that need a fresh partition
+// view of a block assignment.
+func evaluate(g *graph.Graph, k int, eps float64, blocks []int32) *part.Partition {
+	return part.FromBlocks(g, k, eps, blocks)
+}

@@ -1,0 +1,147 @@
+// Package coarsen implements the contraction phase of the multilevel scheme
+// (§2, §3): contracting the edges of a matching produces the next-coarser
+// graph, and a Hierarchy records the sequence of graphs and node mappings so
+// that partitions can be projected back during uncoarsening.
+package coarsen
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Contract contracts every matched edge of m in g. It returns the coarse
+// graph and the mapping fine node → coarse node. Contracting {u,v} forms a
+// node x with c(x) = c(u)+c(v); parallel coarse edges are merged by summing
+// their weights (§2). Coordinates, when present, are carried over as the
+// weighted midpoint of the contracted pair.
+func Contract(g *graph.Graph, m matching.Matching) (*graph.Graph, []int32) {
+	n := g.NumNodes()
+	fine2coarse := make([]int32, n)
+	nc := int32(0)
+	for v := int32(0); v < int32(n); v++ {
+		if u := m[v]; u >= 0 && u < v {
+			continue // the smaller endpoint creates the coarse node
+		}
+		fine2coarse[v] = nc
+		nc++
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if u := m[v]; u >= 0 && u < v {
+			fine2coarse[v] = fine2coarse[u]
+		}
+	}
+
+	// Count an upper bound of coarse half-edges to size the arrays, then
+	// build coarse adjacency with a scatter array for duplicate merging.
+	nwgt := make([]int64, nc)
+	for v := int32(0); v < int32(n); v++ {
+		nwgt[fine2coarse[v]] += g.NodeWeight(v)
+	}
+	xadj := make([]int32, nc+1)
+	adj := make([]int32, 0, 2*g.NumEdges())
+	ewgt := make([]int64, 0, 2*g.NumEdges())
+
+	// members[c] lists the one or two fine nodes of coarse node c.
+	memberHead := make([]int32, nc)
+	memberNext := make([]int32, n)
+	for c := range memberHead {
+		memberHead[c] = -1
+	}
+	for v := int32(n) - 1; v >= 0; v-- {
+		c := fine2coarse[v]
+		memberNext[v] = memberHead[c]
+		memberHead[c] = v
+	}
+
+	pos := make([]int32, nc) // scatter: coarse neighbor -> index in current segment, stamped
+	stamp := make([]int32, nc)
+	for i := range pos {
+		stamp[i] = -1
+	}
+	for c := int32(0); c < nc; c++ {
+		segStart := int32(len(adj))
+		for v := memberHead[c]; v >= 0; v = memberNext[v] {
+			fadj := g.Adj(v)
+			fw := g.AdjWeights(v)
+			for i, u := range fadj {
+				cu := fine2coarse[u]
+				if cu == c {
+					continue // contracted or internal edge vanishes
+				}
+				if stamp[cu] == c+1 {
+					ewgt[pos[cu]] += fw[i]
+				} else {
+					stamp[cu] = c + 1
+					pos[cu] = int32(len(adj))
+					adj = append(adj, cu)
+					ewgt = append(ewgt, fw[i])
+				}
+			}
+		}
+		_ = segStart
+		xadj[c+1] = int32(len(adj))
+	}
+	cg, err := graph.FromCSR(xadj, adj, ewgt, nwgt)
+	if err != nil {
+		panic("coarsen: contraction produced invalid graph: " + err.Error())
+	}
+	if g.HasCoords() {
+		fx, fy := g.Coords()
+		cx := make([]float64, nc)
+		cy := make([]float64, nc)
+		cnt := make([]float64, nc)
+		for v := int32(0); v < int32(n); v++ {
+			c := fine2coarse[v]
+			cx[c] += fx[v]
+			cy[c] += fy[v]
+			cnt[c]++
+		}
+		for c := int32(0); c < nc; c++ {
+			cx[c] /= cnt[c]
+			cy[c] /= cnt[c]
+		}
+		cg.SetCoords(cx, cy)
+	}
+	return cg, fine2coarse
+}
+
+// Level is one step of the hierarchy: Fine is the graph before contraction
+// and Map sends each node of Fine to its node in the next-coarser graph.
+type Level struct {
+	Fine *graph.Graph
+	Map  []int32
+}
+
+// Hierarchy is the stack of contractions performed during coarsening.
+// Levels[0].Fine is the input graph; Coarsest is the final graph handed to
+// initial partitioning.
+type Hierarchy struct {
+	Levels   []Level
+	Coarsest *graph.Graph
+}
+
+// NewHierarchy starts a hierarchy at g.
+func NewHierarchy(g *graph.Graph) *Hierarchy {
+	return &Hierarchy{Coarsest: g}
+}
+
+// Push records a contraction of the current coarsest graph.
+func (h *Hierarchy) Push(coarse *graph.Graph, fine2coarse []int32) {
+	h.Levels = append(h.Levels, Level{Fine: h.Coarsest, Map: fine2coarse})
+	h.Coarsest = coarse
+}
+
+// Depth returns the number of contractions recorded.
+func (h *Hierarchy) Depth() int { return len(h.Levels) }
+
+// Project lifts a partition of the graph at level li+1 (coarse side of
+// Levels[li]) to the fine side: fine node v gets the block of its coarse
+// image. li == Depth()-1 corresponds to lifting from the Coarsest graph.
+func (h *Hierarchy) Project(li int, coarsePart []int32) []int32 {
+	lv := h.Levels[li]
+	fine := make([]int32, lv.Fine.NumNodes())
+	for v := range fine {
+		fine[v] = coarsePart[lv.Map[v]]
+	}
+	return fine
+}

@@ -1,0 +1,154 @@
+// Package core implements KaPPa, the paper's parallel multilevel graph
+// partitioner: geometric (or index-based) prepartitioning, parallel
+// coarsening with gap-graph matching (§3.3), initial partitioning with
+// seeded repeats (§4), and parallel pairwise refinement scheduled by an edge
+// coloring of the quotient graph (§5).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/initpart"
+	"repro/internal/matching"
+	"repro/internal/rating"
+	"repro/internal/refine"
+)
+
+// Schedule selects how block pairs are scheduled for refinement (§5.1).
+type Schedule int
+
+const (
+	// ScheduleColoring steps through the color classes of a distributed
+	// edge coloring of the quotient graph (the paper's default).
+	ScheduleColoring Schedule = iota
+	// ScheduleRandomPairs repeatedly draws random maximal matchings of the
+	// quotient graph (the alternative strategy, kept for the ablation).
+	ScheduleRandomPairs
+)
+
+// Config carries every tuning parameter of Table 2.
+type Config struct {
+	K   int     // number of blocks
+	Eps float64 // allowed imbalance (default 0.03)
+
+	Rating  rating.Func        // edge rating (Table 3)
+	Matcher matching.Algorithm // sequential matching algorithm (Table 3)
+
+	// StopAlpha is the α of the contraction stop rule: coarsening ends when
+	// fewer than max(20·P, n/(α·k²)) nodes remain (Table 2: n/60k²).
+	StopAlpha float64
+
+	InitEngine  initpart.Engine
+	InitRepeats int
+
+	Strategy       refine.Strategy // queue selection (Table 4)
+	BandDepth      int             // BFS search depth (1 / 5 / 20)
+	StopOnNoChange int             // refinement loop patience: 1 = stop on first fruitless pass, 2 = after two in a row
+	MaxGlobalIter  int             // max global iterations (1 / 15)
+	LocalIter      int             // local iterations per pair (1 / 3 / 5)
+	Patience       float64         // FM patience α (0.01 / 0.05 / 0.20)
+
+	Schedule    Schedule
+	GapMatching bool // gap-graph matching across PE boundaries (§3.3); off only in ablations
+
+	// PEs is the number of simulated processing elements used during
+	// coarsening. The paper identifies PEs with blocks; 0 means K.
+	PEs int
+
+	Seed uint64
+}
+
+// Variant names one of the paper's three preset configurations.
+type Variant int
+
+const (
+	// Minimal chooses the smallest possible value for every parameter.
+	Minimal Variant = iota
+	// Fast aims at low execution time with good quality.
+	Fast
+	// Strong targets quality without an outrageous amount of time.
+	Strong
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case Minimal:
+		return "KaPPa-Minimal"
+	case Fast:
+		return "KaPPa-Fast"
+	case Strong:
+		return "KaPPa-Strong"
+	default:
+		return fmt.Sprintf("core.Variant(%d)", int(v))
+	}
+}
+
+// NewConfig returns the preset of Table 2 for the given variant.
+func NewConfig(v Variant, k int) Config {
+	c := Config{
+		K:           k,
+		Eps:         0.03,
+		Rating:      rating.ExpansionStar2,
+		Matcher:     matching.GPA,
+		StopAlpha:   60,
+		InitEngine:  initpart.EngineScotch,
+		Strategy:    refine.TopGain,
+		Schedule:    ScheduleColoring,
+		GapMatching: true,
+	}
+	switch v {
+	case Minimal:
+		c.InitRepeats = 1
+		c.BandDepth = 1
+		c.StopOnNoChange = 0 // no-change stopping disabled: fixed single pass
+		c.MaxGlobalIter = 1
+		c.LocalIter = 1
+		c.Patience = 0.01
+	case Fast:
+		c.InitRepeats = 3
+		c.BandDepth = 5
+		c.StopOnNoChange = 1
+		c.MaxGlobalIter = 15
+		c.LocalIter = 3
+		c.Patience = 0.05
+	case Strong:
+		c.InitRepeats = 5
+		c.BandDepth = 20
+		c.StopOnNoChange = 2
+		c.MaxGlobalIter = 15
+		c.LocalIter = 5
+		c.Patience = 0.20
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("core: K must be >= 1, got %d", c.K)
+	}
+	if c.Eps < 0 {
+		return fmt.Errorf("core: Eps must be >= 0, got %g", c.Eps)
+	}
+	if c.StopAlpha <= 0 {
+		return fmt.Errorf("core: StopAlpha must be > 0, got %g", c.StopAlpha)
+	}
+	if c.InitRepeats < 1 {
+		return fmt.Errorf("core: InitRepeats must be >= 1, got %d", c.InitRepeats)
+	}
+	if c.MaxGlobalIter < 1 {
+		return fmt.Errorf("core: MaxGlobalIter must be >= 1, got %d", c.MaxGlobalIter)
+	}
+	if c.LocalIter < 1 {
+		return fmt.Errorf("core: LocalIter must be >= 1, got %d", c.LocalIter)
+	}
+	return nil
+}
+
+func (c *Config) pes() int {
+	if c.PEs > 0 {
+		return c.PEs
+	}
+	return c.K
+}

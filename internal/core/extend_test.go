@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/part"
+	"repro/internal/rng"
+)
+
+func TestRefineExistingImproves(t *testing.T) {
+	g := gen.RGG(11, 4)
+	n := g.NumNodes()
+	r := rng.New(7)
+	// A noisy striped partition: plenty of room for improvement.
+	blocks := make([]int32, n)
+	for v := 0; v < n; v++ {
+		blocks[v] = int32(4 * v / n)
+	}
+	for i := 0; i < n/10; i++ {
+		blocks[r.Intn(n)] = int32(r.Intn(4))
+	}
+	cfg := NewConfig(Fast, 4)
+	cfg.Seed = 5
+	before := part.FromBlocks(g, 4, cfg.Eps, append([]int32(nil), blocks...)).Cut()
+	refined, cut := RefineExisting(g, cfg, blocks)
+	if cut >= before {
+		t.Fatalf("RefineExisting did not improve: %d -> %d", before, cut)
+	}
+	p := part.FromBlocks(g, 4, cfg.Eps, refined)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cut() != cut {
+		t.Fatalf("reported cut %d != actual %d", cut, p.Cut())
+	}
+	if !p.Feasible() {
+		t.Fatal("refined partition infeasible")
+	}
+}
+
+func TestRefineExistingPreservesInput(t *testing.T) {
+	g := gen.Grid2D(12, 12)
+	blocks := make([]int32, g.NumNodes())
+	for v := range blocks {
+		blocks[v] = int32(v % 2)
+	}
+	snapshot := append([]int32(nil), blocks...)
+	cfg := NewConfig(Fast, 2)
+	RefineExisting(g, cfg, blocks)
+	for v := range blocks {
+		if blocks[v] != snapshot[v] {
+			t.Fatal("RefineExisting mutated its input")
+		}
+	}
+}
+
+func TestRefineExistingRepairsImbalance(t *testing.T) {
+	g := gen.Grid2D(16, 16)
+	blocks := make([]int32, g.NumNodes()) // everything in block 0
+	cfg := NewConfig(Fast, 4)
+	cfg.Seed = 3
+	refined, _ := RefineExisting(g, cfg, blocks)
+	p := part.FromBlocks(g, 4, cfg.Eps, refined)
+	if !p.Feasible() {
+		t.Fatalf("imbalanced input not repaired: %.3f", p.Imbalance())
+	}
+}
+
+func TestEvolveBeatsOrMatchesSingleRun(t *testing.T) {
+	g := gen.DelaunayX(10, 6)
+	cfg := NewConfig(Fast, 8)
+	cfg.Seed = 11
+	single := Partition(g, cfg).Cut
+	res := Evolve(g, cfg, 3, 2)
+	if res.Cut > single {
+		t.Fatalf("Evolve (%d) worse than its own first individual's regime (%d)", res.Cut, single)
+	}
+	p := part.FromBlocks(g, 8, cfg.Eps, res.Blocks)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 5 { // 3 population + 2 immigration
+		t.Fatalf("Restarts = %d, want 5", res.Restarts)
+	}
+}
+
+func TestEvolveZeroGenerationsIsRestarts(t *testing.T) {
+	g := gen.Grid2D(16, 16)
+	cfg := NewConfig(Minimal, 4)
+	cfg.Seed = 2
+	res := Evolve(g, cfg, 2, 0)
+	if res.Generations != 0 || res.Restarts != 2 {
+		t.Fatalf("unexpected bookkeeping: %+v", res)
+	}
+	if res.Cut <= 0 {
+		t.Fatal("no cut measured")
+	}
+}

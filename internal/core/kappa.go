@@ -1,0 +1,239 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/coarsen"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/initpart"
+	"repro/internal/matching"
+	"repro/internal/part"
+	"repro/internal/rating"
+	"repro/internal/refine"
+	"repro/internal/rng"
+)
+
+// Result reports a finished partitioning run.
+type Result struct {
+	Blocks  []int32
+	Cut     int64
+	Balance float64 // max block weight / average block weight
+	Levels  int     // contraction levels built
+
+	CoarsenTime time.Duration
+	InitTime    time.Duration
+	RefineTime  time.Duration
+	TotalTime   time.Duration
+}
+
+// Partition runs the full KaPPa pipeline on g.
+func Partition(g *graph.Graph, cfg Config) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+
+	// ------ Contraction phase (§3) ------
+	tc := time.Now()
+	h := buildHierarchy(g, &cfg)
+	coarsenTime := time.Since(tc)
+
+	// ------ Initial partitioning (§4) ------
+	ti := time.Now()
+	block, _ := initialPartition(h.Coarsest, &cfg)
+	initTime := time.Since(ti)
+
+	// ------ Refinement phase (§5) ------
+	tr := time.Now()
+	p := part.FromBlocks(h.Coarsest, cfg.K, cfg.Eps, block)
+	refineLevel(p, &cfg, 0)
+	for li := h.Depth() - 1; li >= 0; li-- {
+		block = h.Project(li, p.Block)
+		p = part.FromBlocks(h.Levels[li].Fine, cfg.K, cfg.Eps, block)
+		refineLevel(p, &cfg, uint64(h.Depth()-li))
+	}
+	if !p.Feasible() {
+		refine.Rebalance(p, rng.NewStream(cfg.Seed, 0xba1a))
+	}
+	refineTime := time.Since(tr)
+
+	return Result{
+		Blocks:      p.Block,
+		Cut:         p.Cut(),
+		Balance:     p.Imbalance(),
+		Levels:      h.Depth(),
+		CoarsenTime: coarsenTime,
+		InitTime:    initTime,
+		RefineTime:  refineTime,
+		TotalTime:   time.Since(start),
+	}
+}
+
+// prepartition assigns graph nodes to PEs: recursive coordinate bisection
+// when coordinates are available (§3.3), contiguous index ranges otherwise.
+// Its only purpose is locality for the matching computation; it does not
+// influence the final partition directly.
+func prepartition(g *graph.Graph, pes int) []int32 {
+	if pes <= 1 {
+		return make([]int32, g.NumNodes())
+	}
+	if g.HasCoords() {
+		x, y := g.Coords()
+		return dist.RCB(x, y, pes)
+	}
+	return dist.IndexRanges(g.NumNodes(), pes)
+}
+
+// buildHierarchy runs parallel coarsening until the stop rule of §4 fires:
+// fewer than max(20·P, n/(α·k²), 2k) nodes remain — the per-PE threshold
+// max(20, n/(αk²)) of the paper summed over PEs — or the graph stops
+// shrinking.
+func buildHierarchy(g *graph.Graph, cfg *Config) *coarsen.Hierarchy {
+	pes := cfg.pes()
+	n0 := float64(g.NumNodes())
+	threshold := int(n0 / (cfg.StopAlpha * float64(cfg.K) * float64(cfg.K)))
+	if t := 20 * pes; threshold < t {
+		threshold = t
+	}
+	if t := 2 * cfg.K; threshold < t {
+		threshold = t
+	}
+	h := coarsen.NewHierarchy(g)
+	// Cluster-weight cap (Metis' maxvwgt): no contracted pair may exceed
+	// 1.5x the average node weight of the target coarsest graph, so even
+	// tie-heavy ratings cannot snowball single clusters into blobs the
+	// balance constraint cannot place.
+	maxPair := 3 * g.TotalNodeWeight() / (2 * int64(threshold))
+	if maxPair < 2 {
+		maxPair = 2
+	}
+	for level := 0; h.Coarsest.NumNodes() > threshold; level++ {
+		cur := h.Coarsest
+		rt := rating.NewRater(cfg.Rating, cur)
+		var m matching.Matching
+		if pes > 1 {
+			blocks := prepartition(cur, pes)
+			if cfg.GapMatching {
+				m = matching.ParallelBounded(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
+			} else {
+				m = parallelNoGap(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
+			}
+		} else {
+			m = matching.ComputeBounded(cur, rt, cfg.Matcher, rng.NewStream(cfg.Seed, uint64(level)), maxPair)
+		}
+		if m.Size() == 0 {
+			break
+		}
+		cg, f2c := coarsen.Contract(cur, m)
+		// Insist on geometric shrinking; otherwise initial partitioning can
+		// handle the rest.
+		if cg.NumNodes() > cur.NumNodes()*49/50 {
+			break
+		}
+		h.Push(cg, f2c)
+	}
+	return h
+}
+
+// parallelNoGap is the ablation variant of parallel matching: local
+// matchings only, no gap-graph phase (cross-PE edges are never matched).
+func parallelNoGap(g *graph.Graph, rt *rating.Rater, alg matching.Algorithm, blocks []int32, pes int, seed uint64, maxPair int64) matching.Matching {
+	// Restrict the graph to intra-block edges by running the parallel
+	// matcher with an empty gap phase: equivalent to giving every cross
+	// edge a rating below any local match. We reuse Parallel but strip
+	// cross-block pairs afterwards (they can only come from the gap phase).
+	m := matching.ParallelBounded(g, rt, alg, blocks, pes, seed, maxPair)
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if u := m[v]; u >= 0 && blocks[u] != blocks[v] {
+			m[v], m[u] = -1, -1
+		}
+	}
+	return m
+}
+
+// initialPartition runs the sequential initial partitioner cfg.InitRepeats
+// times concurrently with different seeds and adopts the best result (§4).
+func initialPartition(g *graph.Graph, cfg *Config) ([]int32, int64) {
+	return initpart.Repeat(g, cfg.K, cfg.Eps, cfg.InitEngine, cfg.InitRepeats, cfg.Seed^0x1217)
+}
+
+// refineLevel performs the nested refinement loops of §5 on one level:
+// global iterations step through the pair schedule; each scheduled pair runs
+// up to cfg.LocalIter local iterations of two-way FM, each local search done
+// twice with different seeds and the better result adopted.
+func refineLevel(p *part.Partition, cfg *Config, levelSeed uint64) {
+	if cfg.K < 2 {
+		return
+	}
+	cfg2 := refine.TwoWayConfig{
+		Strategy:  cfg.Strategy,
+		Patience:  cfg.Patience,
+		BandDepth: cfg.BandDepth,
+	}
+	fruitlessRuns := 0
+	for global := 0; global < cfg.MaxGlobalIter; global++ {
+		rounds := schedule(p, cfg, levelSeed, global)
+		var totalGain int64
+		for round, class := range rounds {
+			if len(class) == 0 {
+				continue
+			}
+			// Disjoint pairs refine concurrently; all reads of foreign
+			// blocks go through a snapshot taken before the round.
+			view := append([]int32(nil), p.Block...)
+			gains := make([]int64, len(class))
+			var wg sync.WaitGroup
+			for i, e := range class {
+				wg.Add(1)
+				go func(i int, a, b int32) {
+					defer wg.Done()
+					base := cfg.Seed ^ levelSeed<<32 ^ uint64(global)<<16 ^ uint64(round)<<8 ^ uint64(a)<<24 ^ uint64(b)
+					var gain int64
+					for li := 0; li < cfg.LocalIter; li++ {
+						out := refine.RefinePairView(p, view, a, b, cfg2,
+							splitSeed(base, uint64(2*li)), splitSeed(base, uint64(2*li+1)))
+						gain += out.Gain
+						if out.Gain <= 0 {
+							break
+						}
+					}
+					gains[i] = gain
+				}(i, e.A, e.B)
+			}
+			wg.Wait()
+			for _, gv := range gains {
+				totalGain += gv
+			}
+		}
+		if totalGain > 0 {
+			fruitlessRuns = 0
+			continue
+		}
+		fruitlessRuns++
+		if cfg.StopOnNoChange == 0 || fruitlessRuns >= cfg.StopOnNoChange {
+			break
+		}
+	}
+}
+
+// schedule produces the rounds of block pairs for one global iteration.
+func schedule(p *part.Partition, cfg *Config, levelSeed uint64, global int) [][]part.QEdge {
+	q := p.Quotient()
+	seed := cfg.Seed ^ 0xc01035<<8 ^ levelSeed<<40 ^ uint64(global)
+	if cfg.Schedule == ScheduleRandomPairs {
+		return part.RandomPairSchedule(cfg.K, q, seed)
+	}
+	colors, nc := part.DistributedColoring(cfg.K, q, seed)
+	return part.ColorClasses(q, colors, nc)
+}
+
+// splitSeed derives independent seeds deterministically.
+func splitSeed(base, i uint64) uint64 {
+	x := base + (i+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}

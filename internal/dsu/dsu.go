@@ -1,0 +1,64 @@
+// Package dsu implements a disjoint-set union (union-find) structure with
+// union by size and path halving.
+//
+// The partitioner uses it for connectivity checks on generated graphs and for
+// the path/cycle bookkeeping of the Global Path Algorithm (GPA) matcher.
+package dsu
+
+// DSU is a disjoint-set forest over elements 0..n-1.
+type DSU struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the representative of x's set, compressing paths as it goes.
+func (d *DSU) Find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and reports whether a merge happened
+// (false when they were already in the same set).
+func (d *DSU) Union(a, b int32) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	d.sets--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int32) bool { return d.Find(a) == d.Find(b) }
+
+// SetSize returns the size of x's set.
+func (d *DSU) SetSize(x int32) int32 { return d.size[d.Find(x)] }

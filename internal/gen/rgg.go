@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RGG generates the paper's rggX family: a random geometric graph with
+// n = 2^scale nodes at random positions in the unit square, connecting nodes
+// whose Euclidean distance is below 0.55·sqrt(ln n / n). The threshold is the
+// paper's choice, made so that the graph is almost connected. The returned
+// graph carries coordinates.
+func RGG(scale int, seed uint64) *graph.Graph {
+	n := 1 << scale
+	r := rng.New(seed)
+	pts := UniformPoints(n, r)
+	radius := 0.55 * math.Sqrt(math.Log(float64(n))/float64(n))
+	return GeometricGraph(pts, radius)
+}
+
+// GeometricGraph connects every pair of points at distance below radius. A
+// uniform grid with cells of side radius keeps the running time near-linear
+// for the point densities the generators produce.
+func GeometricGraph(pts []Point, radius float64) *graph.Graph {
+	n := len(pts)
+	b := graph.NewBuilder(n)
+	for v, p := range pts {
+		b.SetCoord(int32(v), p.X, p.Y)
+	}
+	if n == 0 {
+		return b.Build()
+	}
+	cells := int(1/radius) + 1
+	grid := make(map[[2]int][]int32)
+	cellOf := func(p Point) [2]int {
+		cx := int(p.X / radius)
+		cy := int(p.Y / radius)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for v, p := range pts {
+		grid[cellOf(p)] = append(grid[cellOf(p)], int32(v))
+	}
+	r2 := radius * radius
+	for v, p := range pts {
+		c := cellOf(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, u := range grid[[2]int{c[0] + dx, c[1] + dy}] {
+					if u <= int32(v) {
+						continue // each pair once
+					}
+					q := pts[u]
+					ddx, ddy := p.X-q.X, p.Y-q.Y
+					if ddx*ddx+ddy*ddy < r2 {
+						b.AddEdge(int32(v), u, 1)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// PrefAttach generates a preferential-attachment (Barabási–Albert) graph
+// with n nodes, each new node attaching d edges to existing nodes chosen
+// with probability proportional to their degree. This reproduces the heavy
+// power-law degree tail of the paper's coAuthorsDBLP/citationCiteseer social
+// instances, which stress partitioners very differently from meshes.
+func PrefAttach(n, d int, seed uint64) *graph.Graph {
+	if d < 1 {
+		panic("gen: PrefAttach needs d >= 1")
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	// repeated-node list: each node appears once per incident half-edge, so
+	// uniform sampling from it is degree-proportional sampling.
+	var pool []int32
+	start := d + 1
+	if start > n {
+		start = n
+	}
+	// Seed clique over the first min(d+1, n) nodes.
+	for i := 0; i < start; i++ {
+		for j := i + 1; j < start; j++ {
+			b.AddEdge(int32(i), int32(j), 1)
+			pool = append(pool, int32(i), int32(j))
+		}
+	}
+	for v := start; v < n; v++ {
+		chosen := make(map[int32]bool, d)
+		for len(chosen) < d {
+			u := pool[r.Intn(len(pool))]
+			chosen[u] = true
+		}
+		for u := range chosen {
+			b.AddEdge(int32(v), u, 1)
+			pool = append(pool, int32(v), u)
+		}
+	}
+	return b.Build()
+}
+
+// RMAT generates a recursive-matrix random graph with 2^scale nodes and
+// about edgeFactor·2^scale undirected edges using the standard
+// (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) parameters. RMAT graphs have skewed
+// degrees and weak community structure, similar to citation networks.
+// Duplicate edges and self loops are discarded, so the realized edge count is
+// slightly below the requested one. The graph is restricted to its largest
+// connected component.
+func RMAT(scale, edgeFactor int, seed uint64) *graph.Graph {
+	n := 1 << scale
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	seen := make(map[uint64]bool)
+	target := edgeFactor * n
+	const a, bb, c = 0.57, 0.19, 0.19
+	for e := 0; e < target; e++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			p := r.Float64()
+			switch {
+			case p < a:
+			case p < a+bb:
+				v |= 1 << bit
+			case p < a+bb+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := uint64(lo)<<32 | uint64(uint32(hi))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(int32(u), int32(v), 1)
+	}
+	g := b.Build()
+	lc, _ := g.LargestComponent()
+	return lc
+}
+
+// ErdosRenyi generates a G(n, m) random graph (m distinct uniform edges).
+// It is used by tests as an unstructured control input.
+func ErdosRenyi(n, m int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	seen := make(map[uint64]bool)
+	for len(seen) < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(uint32(v))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(int32(u), int32(v), 1)
+	}
+	return b.Build()
+}

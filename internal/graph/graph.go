@@ -1,0 +1,307 @@
+// Package graph provides the weighted undirected graph data structure used by
+// every stage of the partitioner.
+//
+// The representation is the static adjacency array ("forward-star") layout
+// described in §5.2 of the paper: an edge array storing target nodes and edge
+// weights, and a node array storing node weights and the start of the
+// relevant segment in the edge array. Node ids are dense int32 values in
+// [0, n). Every undirected edge {u, v} is stored twice, once in each
+// direction; weights are int64 so that repeated contraction cannot overflow.
+//
+// Graphs may optionally carry 2D coordinates; the parallel coarsening phase
+// uses them for geometric prepartitioning (recursive coordinate bisection).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable weighted undirected graph in CSR form. Construct one
+// with a Builder, FromCSR, or the generators in internal/gen.
+type Graph struct {
+	xadj []int32 // n+1 offsets into adj/ewgt
+	adj  []int32 // 2m neighbor ids
+	ewgt []int64 // 2m edge weights (parallel to adj)
+	nwgt []int64 // n node weights
+
+	totalNodeWeight int64
+	totalEdgeWeight int64 // each undirected edge counted once
+	maxNodeWeight   int64
+
+	x, y []float64 // optional coordinates, len n or nil
+}
+
+// NumNodes returns n, the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nwgt) }
+
+// NumEdges returns m, the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int { return int(g.xadj[v+1] - g.xadj[v]) }
+
+// NodeWeight returns c(v).
+func (g *Graph) NodeWeight(v int32) int64 { return g.nwgt[v] }
+
+// TotalNodeWeight returns c(V).
+func (g *Graph) TotalNodeWeight() int64 { return g.totalNodeWeight }
+
+// TotalEdgeWeight returns ω(E) with each undirected edge counted once.
+func (g *Graph) TotalEdgeWeight() int64 { return g.totalEdgeWeight }
+
+// MaxNodeWeight returns max_v c(v); it appears in the balance constraint
+// Lmax = (1+ε)·c(V)/k + max_v c(v).
+func (g *Graph) MaxNodeWeight() int64 { return g.maxNodeWeight }
+
+// Adj returns the neighbor ids of v as a shared slice; callers must not
+// modify it.
+func (g *Graph) Adj(v int32) []int32 { return g.adj[g.xadj[v]:g.xadj[v+1]] }
+
+// AdjWeights returns the edge weights parallel to Adj(v); callers must not
+// modify it.
+func (g *Graph) AdjWeights(v int32) []int64 { return g.ewgt[g.xadj[v]:g.xadj[v+1]] }
+
+// WeightedDegree returns Out(v) = Σ_{x∈Γ(v)} ω({v,x}).
+func (g *Graph) WeightedDegree(v int32) int64 {
+	var s int64
+	for _, w := range g.AdjWeights(v) {
+		s += w
+	}
+	return s
+}
+
+// EdgeWeightTo returns ω({v,u}) or 0 if {v,u} is not an edge. It is a linear
+// scan of v's adjacency; use only where degrees are small (e.g. quotient
+// graphs).
+func (g *Graph) EdgeWeightTo(v, u int32) int64 {
+	adj := g.Adj(v)
+	for i, t := range adj {
+		if t == u {
+			return g.AdjWeights(v)[i]
+		}
+	}
+	return 0
+}
+
+// HasCoords reports whether the graph carries 2D coordinates.
+func (g *Graph) HasCoords() bool { return g.x != nil }
+
+// Coord returns the coordinates of v; it panics if the graph has none.
+func (g *Graph) Coord(v int32) (float64, float64) { return g.x[v], g.y[v] }
+
+// SetCoords attaches coordinates; both slices must have length n. The graph
+// keeps references to the slices.
+func (g *Graph) SetCoords(x, y []float64) {
+	if len(x) != g.NumNodes() || len(y) != g.NumNodes() {
+		panic("graph: coordinate slices must have length n")
+	}
+	g.x, g.y = x, y
+}
+
+// Coords returns the coordinate slices (nil if absent). Callers must not
+// modify them.
+func (g *Graph) Coords() ([]float64, []float64) { return g.x, g.y }
+
+// FromCSR builds a graph directly from CSR arrays. The arrays are adopted,
+// not copied. nwgt may be nil for unit node weights. FromCSR validates the
+// structure (symmetry is checked only by Validate, which is O(m log d)).
+func FromCSR(xadj []int32, adj []int32, ewgt []int64, nwgt []int64) (*Graph, error) {
+	n := len(xadj) - 1
+	if n < 0 {
+		return nil, fmt.Errorf("graph: xadj must have length n+1 >= 1")
+	}
+	if xadj[0] != 0 || int(xadj[n]) != len(adj) || len(adj) != len(ewgt) {
+		return nil, fmt.Errorf("graph: inconsistent CSR arrays")
+	}
+	for v := 0; v < n; v++ {
+		if xadj[v] > xadj[v+1] {
+			return nil, fmt.Errorf("graph: xadj not monotone at node %d", v)
+		}
+	}
+	if nwgt == nil {
+		nwgt = make([]int64, n)
+		for i := range nwgt {
+			nwgt[i] = 1
+		}
+	} else if len(nwgt) != n {
+		return nil, fmt.Errorf("graph: nwgt must have length n")
+	}
+	g := &Graph{xadj: xadj, adj: adj, ewgt: ewgt, nwgt: nwgt}
+	for _, t := range adj {
+		if t < 0 || int(t) >= n {
+			return nil, fmt.Errorf("graph: neighbor id %d out of range", t)
+		}
+	}
+	for _, w := range ewgt {
+		if w <= 0 {
+			return nil, fmt.Errorf("graph: non-positive edge weight %d", w)
+		}
+		g.totalEdgeWeight += w
+	}
+	g.totalEdgeWeight /= 2
+	for _, w := range nwgt {
+		if w < 0 {
+			return nil, fmt.Errorf("graph: negative node weight %d", w)
+		}
+		g.totalNodeWeight += w
+		if w > g.maxNodeWeight {
+			g.maxNodeWeight = w
+		}
+	}
+	return g, nil
+}
+
+// Validate checks structural invariants that FromCSR does not: no self
+// loops, no parallel edges (adjacency lists strictly sorted after sorting),
+// and symmetry of both adjacency and weights. Intended for tests and for
+// checking external input files.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	for v := int32(0); v < int32(n); v++ {
+		adj := g.Adj(v)
+		seen := make(map[int32]int64, len(adj))
+		for i, u := range adj {
+			if u == v {
+				return fmt.Errorf("graph: self loop at node %d", v)
+			}
+			if _, dup := seen[u]; dup {
+				return fmt.Errorf("graph: parallel edge {%d,%d}", v, u)
+			}
+			seen[u] = g.AdjWeights(v)[i]
+		}
+		for u, w := range seen {
+			if g.EdgeWeightTo(u, v) != w {
+				return fmt.Errorf("graph: asymmetric edge {%d,%d}", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder accumulates undirected edges and produces a Graph. Parallel edges
+// are merged by summing their weights; self loops are dropped. Builders are
+// not safe for concurrent use.
+type Builder struct {
+	n     int
+	nwgt  []int64
+	us    []int32
+	vs    []int32
+	ws    []int64
+	coord bool
+	x, y  []float64
+}
+
+// NewBuilder returns a builder for a graph with n nodes and unit node
+// weights.
+func NewBuilder(n int) *Builder {
+	nwgt := make([]int64, n)
+	for i := range nwgt {
+		nwgt[i] = 1
+	}
+	return &Builder{n: n, nwgt: nwgt}
+}
+
+// SetNodeWeight sets c(v).
+func (b *Builder) SetNodeWeight(v int32, w int64) { b.nwgt[v] = w }
+
+// SetCoord records coordinates for v; the first call switches the builder to
+// coordinate mode.
+func (b *Builder) SetCoord(v int32, x, y float64) {
+	if !b.coord {
+		b.coord = true
+		b.x = make([]float64, b.n)
+		b.y = make([]float64, b.n)
+	}
+	b.x[v], b.y[v] = x, y
+}
+
+// AddEdge records the undirected edge {u, v} with weight w. Self loops are
+// ignored. Adding {u,v} twice (in any orientation) merges the weights.
+func (b *Builder) AddEdge(u, v int32, w int64) {
+	if u == v {
+		return
+	}
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if w <= 0 {
+		panic("graph: edge weight must be positive")
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+}
+
+// NumPendingEdges returns the number of AddEdge calls so far (before
+// merging).
+func (b *Builder) NumPendingEdges() int { return len(b.us) }
+
+// Build produces the graph. The builder can not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	// Count directed half-edges per node.
+	deg := make([]int32, n+1)
+	for i := range b.us {
+		deg[b.us[i]+1]++
+		deg[b.vs[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	xadj := deg // reuse as offsets
+	adj := make([]int32, len(b.us)*2)
+	ewgt := make([]int64, len(b.us)*2)
+	fill := make([]int32, n)
+	for i := range b.us {
+		u, v, w := b.us[i], b.vs[i], b.ws[i]
+		p := xadj[u] + fill[u]
+		adj[p], ewgt[p] = v, w
+		fill[u]++
+		p = xadj[v] + fill[v]
+		adj[p], ewgt[p] = u, w
+		fill[v]++
+	}
+	// Sort each adjacency list and merge duplicates in place.
+	outAdj := adj[:0]
+	outW := ewgt[:0]
+	newX := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		lo, hi := xadj[v], xadj[v+1]
+		seg := adjSegment{adj[lo:hi], ewgt[lo:hi]}
+		sort.Sort(seg)
+		// merge runs of equal targets
+		for i := lo; i < hi; {
+			t, w := adj[i], ewgt[i]
+			j := i + 1
+			for j < hi && adj[j] == t {
+				w += ewgt[j]
+				j++
+			}
+			outAdj = append(outAdj, t)
+			outW = append(outW, w)
+			i = j
+		}
+		newX[v+1] = int32(len(outAdj))
+	}
+	g, err := FromCSR(newX, outAdj[:len(outAdj):len(outAdj)], outW[:len(outW):len(outW)], b.nwgt)
+	if err != nil {
+		panic("graph: builder produced invalid CSR: " + err.Error())
+	}
+	if b.coord {
+		g.SetCoords(b.x, b.y)
+	}
+	return g
+}
+
+type adjSegment struct {
+	adj []int32
+	w   []int64
+}
+
+func (s adjSegment) Len() int           { return len(s.adj) }
+func (s adjSegment) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
+func (s adjSegment) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}

@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// path5 builds the path 0-1-2-3-4 with unit weights.
+func path5() *Graph {
+	b := NewBuilder(5)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := path5()
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(2))
+	}
+	if g.TotalEdgeWeight() != 4 || g.TotalNodeWeight() != 5 {
+		t.Fatalf("weights wrong: %d %d", g.TotalEdgeWeight(), g.TotalNodeWeight())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderMergesParallelEdges(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 0, 3) // same edge, reversed
+	b.AddEdge(1, 2, 1)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if w := g.EdgeWeightTo(0, 1); w != 5 {
+		t.Fatalf("merged weight = %d, want 5", w)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDropsSelfLoops(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 0, 7)
+	b.AddEdge(0, 1, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5, 1)
+}
+
+func TestNodeWeights(t *testing.T) {
+	b := NewBuilder(3)
+	b.SetNodeWeight(0, 10)
+	b.SetNodeWeight(2, 4)
+	b.AddEdge(0, 1, 1)
+	g := b.Build()
+	if g.NodeWeight(0) != 10 || g.NodeWeight(1) != 1 || g.NodeWeight(2) != 4 {
+		t.Fatal("node weights lost")
+	}
+	if g.TotalNodeWeight() != 15 || g.MaxNodeWeight() != 10 {
+		t.Fatalf("totals: %d %d", g.TotalNodeWeight(), g.MaxNodeWeight())
+	}
+}
+
+func TestWeightedDegree(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(0, 2, 4)
+	g := b.Build()
+	if g.WeightedDegree(0) != 7 || g.WeightedDegree(1) != 3 {
+		t.Fatal("WeightedDegree wrong")
+	}
+}
+
+func TestFromCSRRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		xadj []int32
+		adj  []int32
+		ewgt []int64
+	}{
+		{"inconsistent", []int32{0, 1}, []int32{}, []int64{}},
+		{"badNeighbor", []int32{0, 1}, []int32{5}, []int64{1}},
+		{"zeroWeight", []int32{0, 1, 2}, []int32{1, 0}, []int64{0, 0}},
+		{"nonMonotone", []int32{0, 2, 1}, []int32{1, 1}, []int64{1, 1}},
+	}
+	for _, c := range cases {
+		if _, err := FromCSR(c.xadj, c.adj, c.ewgt, nil); err == nil {
+			t.Errorf("%s: FromCSR accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	// 0->1 weight 1 but 1->0 weight 2.
+	g, err := FromCSR([]int32{0, 1, 2}, []int32{1, 0}, []int64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric weights")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	g := b.Build() // components {0,1,2}, {3,4}, {5}
+	comp, nc := g.ConnectedComponents()
+	if nc != 3 {
+		t.Fatalf("nc = %d, want 3", nc)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] || comp[5] == comp[0] {
+		t.Fatalf("bad labels %v", comp)
+	}
+	if g.NumComponentsDSU() != 3 {
+		t.Fatal("DSU cross-check disagrees")
+	}
+	if g.IsConnected() {
+		t.Fatal("IsConnected wrong")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(3, 4, 1)
+	g := b.Build()
+	sub, m := g.LargestComponent()
+	if sub.NumNodes() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("largest component n=%d m=%d", sub.NumNodes(), sub.NumEdges())
+	}
+	if m == nil || len(m) != 3 {
+		t.Fatal("mapping missing")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraphPreservesWeightsAndCoords(t *testing.T) {
+	b := NewBuilder(4)
+	for v := int32(0); v < 4; v++ {
+		b.SetCoord(v, float64(v), float64(-v))
+		b.SetNodeWeight(v, int64(v+1))
+	}
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 6)
+	b.AddEdge(2, 3, 7)
+	g := b.Build()
+	sub, new2old := g.Subgraph([]bool{true, true, false, true})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 1 {
+		t.Fatalf("sub n=%d m=%d", sub.NumNodes(), sub.NumEdges())
+	}
+	for nv, ov := range new2old {
+		if sub.NodeWeight(int32(nv)) != g.NodeWeight(ov) {
+			t.Fatal("node weight lost")
+		}
+		x, y := sub.Coord(int32(nv))
+		ox, oy := g.Coord(ov)
+		if x != ox || y != oy {
+			t.Fatal("coords lost")
+		}
+	}
+	if w := sub.EdgeWeightTo(0, 1); w != 5 {
+		t.Fatalf("edge weight = %d, want 5", w)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := path5()
+	s := g.ComputeStats()
+	if s.Nodes != 5 || s.Edges != 4 || s.MinDegree != 1 || s.MaxDegree != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.AvgDegree != 1.6 {
+		t.Fatalf("avg degree %f", s.AvgDegree)
+	}
+}
+
+func TestMetisRoundTrip(t *testing.T) {
+	b := NewBuilder(4)
+	b.SetNodeWeight(0, 3)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 9)
+	b.AddEdge(0, 3, 1)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteMetis(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size")
+	}
+	for v := int32(0); v < 4; v++ {
+		if g2.NodeWeight(v) != g.NodeWeight(v) {
+			t.Fatal("node weight changed")
+		}
+		for i, u := range g.Adj(v) {
+			if g2.EdgeWeightTo(v, u) != g.AdjWeights(v)[i] {
+				t.Fatal("edge weight changed")
+			}
+		}
+	}
+}
+
+func TestMetisRoundTripUnweighted(t *testing.T) {
+	g := path5()
+	var buf bytes.Buffer
+	if err := g.WriteMetis(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "5 4\n") {
+		t.Fatalf("unexpected header: %q", buf.String()[:10])
+	}
+	g2, err := ReadMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMetisComments(t *testing.T) {
+	in := "% a comment\n3 2\n2\n1 3\n2\n"
+	g, err := ReadMetis(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadMetisErrors(t *testing.T) {
+	cases := []string{
+		"",                // empty
+		"x y\n",           // bad header
+		"2 1\n2\n",        // missing line for node 2
+		"2 5\n2\n1\n",     // wrong edge count
+		"2 1 7\n2\n1\n",   // unknown format code
+		"2 1\n9\n1\n",     // neighbor out of range
+		"2 1 1\n2\n1 2\n", // missing edge weight on first line
+	}
+	for _, in := range cases {
+		if _, err := ReadMetis(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadMetis accepted %q", in)
+		}
+	}
+}
+
+// TestBuilderRandomInvariants: random multigraph input always yields a valid
+// simple graph whose total weight matches the sum of added weights.
+func TestBuilderRandomInvariants(t *testing.T) {
+	master := rng.New(77)
+	f := func(seed uint16) bool {
+		r := master.Split(uint64(seed))
+		n := 2 + r.Intn(30)
+		b := NewBuilder(n)
+		var total int64
+		for e := 0; e < 3*n; e++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			w := int64(1 + r.Intn(9))
+			b.AddEdge(u, v, w)
+			if u != v {
+				total += w
+			}
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		return g.TotalEdgeWeight() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rng.New(2)
+	const n = 1 << 14
+	for i := 0; i < b.N; i++ {
+		bd := NewBuilder(n)
+		for e := 0; e < 4*n; e++ {
+			bd.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)), 1)
+		}
+		bd.Build()
+	}
+}

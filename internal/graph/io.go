@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMetis writes the graph in the METIS/Chaco graph file format used by
+// the partitioning community (and by the Walshaw archive): a header line
+// "n m fmt" followed by one line per node listing its neighbors 1-indexed.
+// fmt is 11 when both node and edge weights are present, 1 for edge weights
+// only, 10 for node weights only, and omitted for unweighted graphs.
+func (g *Graph) WriteMetis(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hasNW := false
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if g.NodeWeight(v) != 1 {
+			hasNW = true
+			break
+		}
+	}
+	hasEW := false
+	for _, wt := range g.ewgt {
+		if wt != 1 {
+			hasEW = true
+			break
+		}
+	}
+	switch {
+	case hasNW && hasEW:
+		fmt.Fprintf(bw, "%d %d 11\n", g.NumNodes(), g.NumEdges())
+	case hasNW:
+		fmt.Fprintf(bw, "%d %d 10\n", g.NumNodes(), g.NumEdges())
+	case hasEW:
+		fmt.Fprintf(bw, "%d %d 1\n", g.NumNodes(), g.NumEdges())
+	default:
+		fmt.Fprintf(bw, "%d %d\n", g.NumNodes(), g.NumEdges())
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		first := true
+		if hasNW {
+			fmt.Fprintf(bw, "%d", g.NodeWeight(v))
+			first = false
+		}
+		adj := g.Adj(v)
+		ws := g.AdjWeights(v)
+		for i, u := range adj {
+			if !first {
+				bw.WriteByte(' ')
+			}
+			first = false
+			fmt.Fprintf(bw, "%d", u+1)
+			if hasEW {
+				fmt.Fprintf(bw, " %d", ws[i])
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadMetis parses a graph in METIS format. Comment lines starting with '%'
+// are skipped. The declared edge count is validated against the parsed one.
+func ReadMetis(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("graph: malformed header %q", line)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad node count: %w", err)
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad edge count: %w", err)
+	}
+	hasNW, hasEW := false, false
+	if len(fields) >= 3 {
+		switch fields[2] {
+		case "0", "00", "000":
+		case "1", "01", "001":
+			hasEW = true
+		case "10", "010":
+			hasNW = true
+		case "11", "011":
+			hasNW, hasEW = true, true
+		default:
+			return nil, fmt.Errorf("graph: unsupported format code %q", fields[2])
+		}
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: missing line for node %d: %w", v+1, err)
+		}
+		toks := strings.Fields(line)
+		i := 0
+		if hasNW {
+			if len(toks) == 0 {
+				return nil, fmt.Errorf("graph: node %d missing weight", v+1)
+			}
+			w, err := strconv.ParseInt(toks[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: node %d bad weight: %w", v+1, err)
+			}
+			b.SetNodeWeight(int32(v), w)
+			i = 1
+		}
+		for i < len(toks) {
+			u, err := strconv.Atoi(toks[i])
+			if err != nil {
+				return nil, fmt.Errorf("graph: node %d bad neighbor %q: %w", v+1, toks[i], err)
+			}
+			if u < 1 || u > n {
+				return nil, fmt.Errorf("graph: node %d neighbor %d out of range", v+1, u)
+			}
+			i++
+			w := int64(1)
+			if hasEW {
+				if i >= len(toks) {
+					return nil, fmt.Errorf("graph: node %d missing edge weight", v+1)
+				}
+				w, err = strconv.ParseInt(toks[i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: node %d bad edge weight: %w", v+1, err)
+				}
+				i++
+			}
+			if u-1 > v { // store each undirected edge once
+				b.AddEdge(int32(v), int32(u-1), w)
+			}
+		}
+	}
+	g := b.Build()
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, parsed %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

@@ -1,0 +1,112 @@
+package graph
+
+// Overlay is the hybrid static + dynamic graph data structure of §5.2: each
+// PE stores the partition it is responsible for in a static adjacency-array
+// Graph, plus a hash table of *migrated* nodes (copies received from a
+// partner PE before a pairwise local search, Figure 2) with a second,
+// growable edge array for their incident edges.
+//
+// In this shared-memory reproduction the refinement works directly on the
+// global graph, so the Overlay is not on the hot path; it is provided (and
+// tested) as the data structure a distributed-memory port would use for the
+// boundary exchange, and the graph/partition accessors mirror Graph's.
+type Overlay struct {
+	base *Graph
+
+	// migrated nodes are addressed by their global id.
+	nodes map[int32]*overlayNode
+}
+
+type overlayNode struct {
+	weight int64
+	adj    []int32
+	ewgt   []int64
+}
+
+// NewOverlay wraps a static base graph.
+func NewOverlay(base *Graph) *Overlay {
+	return &Overlay{base: base, nodes: make(map[int32]*overlayNode)}
+}
+
+// Base returns the wrapped static graph.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// NumMigrated returns the number of nodes added on top of the base graph.
+func (o *Overlay) NumMigrated() int { return len(o.nodes) }
+
+// AddNode registers a migrated node with the given global id and weight. Ids
+// must not collide with the base graph's [0, n) range. Re-adding an id
+// replaces its copy (a fresh boundary exchange supersedes the previous one).
+func (o *Overlay) AddNode(id int32, weight int64) {
+	if id >= 0 && int(id) < o.base.NumNodes() {
+		panic("graph: overlay node id collides with base graph")
+	}
+	o.nodes[id] = &overlayNode{weight: weight}
+}
+
+// HasNode reports whether id is resolvable (base or migrated).
+func (o *Overlay) HasNode(id int32) bool {
+	if id >= 0 && int(id) < o.base.NumNodes() {
+		return true
+	}
+	_, ok := o.nodes[id]
+	return ok
+}
+
+// AddEdge attaches a directed half-edge from migrated node id to target.
+// Callers add both directions when both endpoints are migrated; edges from a
+// migrated node into the base graph are one-sided by design (the base array
+// is immutable), and Neighbors on base nodes therefore only reports static
+// edges.
+func (o *Overlay) AddEdge(id, target int32, w int64) {
+	n, ok := o.nodes[id]
+	if !ok {
+		panic("graph: AddEdge on unknown overlay node")
+	}
+	if w <= 0 {
+		panic("graph: overlay edge weight must be positive")
+	}
+	n.adj = append(n.adj, target)
+	n.ewgt = append(n.ewgt, w)
+}
+
+// NodeWeight resolves c(id) across both storages.
+func (o *Overlay) NodeWeight(id int32) int64 {
+	if id >= 0 && int(id) < o.base.NumNodes() {
+		return o.base.NodeWeight(id)
+	}
+	return o.nodes[id].weight
+}
+
+// Neighbors invokes f for every outgoing edge of id. Base nodes report
+// static edges; migrated nodes report their dynamic edges.
+func (o *Overlay) Neighbors(id int32, f func(target int32, w int64)) {
+	if id >= 0 && int(id) < o.base.NumNodes() {
+		adj := o.base.Adj(id)
+		ws := o.base.AdjWeights(id)
+		for i, u := range adj {
+			f(u, ws[i])
+		}
+		return
+	}
+	n := o.nodes[id]
+	for i, u := range n.adj {
+		f(u, n.ewgt[i])
+	}
+}
+
+// Degree returns the out-degree of id.
+func (o *Overlay) Degree(id int32) int {
+	if id >= 0 && int(id) < o.base.NumNodes() {
+		return o.base.Degree(id)
+	}
+	return len(o.nodes[id].adj)
+}
+
+// Clear drops all migrated state, returning the overlay to the bare base
+// graph (done after every pairwise local search).
+func (o *Overlay) Clear() {
+	for k := range o.nodes {
+		delete(o.nodes, k)
+	}
+}

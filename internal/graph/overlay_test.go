@@ -1,0 +1,93 @@
+package graph
+
+import "testing"
+
+func overlayBase() *Graph {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(2, 3, 4)
+	return b.Build()
+}
+
+func TestOverlayBasePassthrough(t *testing.T) {
+	g := overlayBase()
+	o := NewOverlay(g)
+	if o.Base() != g {
+		t.Fatal("base lost")
+	}
+	if !o.HasNode(0) || o.HasNode(100) {
+		t.Fatal("HasNode wrong on fresh overlay")
+	}
+	if o.NodeWeight(1) != 1 || o.Degree(1) != 2 {
+		t.Fatal("base passthrough broken")
+	}
+	var sum int64
+	o.Neighbors(1, func(u int32, w int64) { sum += w })
+	if sum != 5 {
+		t.Fatalf("base neighbor weights sum %d, want 5", sum)
+	}
+}
+
+func TestOverlayMigratedNodes(t *testing.T) {
+	o := NewOverlay(overlayBase())
+	o.AddNode(100, 7)
+	o.AddNode(101, 1)
+	o.AddEdge(100, 101, 5)
+	o.AddEdge(101, 100, 5)
+	o.AddEdge(100, 2, 9) // into the base graph
+	if o.NumMigrated() != 2 {
+		t.Fatalf("NumMigrated = %d", o.NumMigrated())
+	}
+	if !o.HasNode(100) || o.NodeWeight(100) != 7 {
+		t.Fatal("migrated node not resolvable")
+	}
+	if o.Degree(100) != 2 {
+		t.Fatalf("Degree(100) = %d, want 2", o.Degree(100))
+	}
+	var targets []int32
+	o.Neighbors(100, func(u int32, w int64) { targets = append(targets, u) })
+	if len(targets) != 2 || targets[0] != 101 || targets[1] != 2 {
+		t.Fatalf("migrated neighbors %v", targets)
+	}
+}
+
+func TestOverlayReAddReplaces(t *testing.T) {
+	o := NewOverlay(overlayBase())
+	o.AddNode(50, 1)
+	o.AddEdge(50, 0, 1)
+	o.AddNode(50, 9) // fresh boundary exchange supersedes
+	if o.NodeWeight(50) != 9 || o.Degree(50) != 0 {
+		t.Fatal("re-add did not replace the copy")
+	}
+}
+
+func TestOverlayClear(t *testing.T) {
+	o := NewOverlay(overlayBase())
+	o.AddNode(10, 1)
+	o.Clear()
+	if o.NumMigrated() != 0 || o.HasNode(10) {
+		t.Fatal("Clear left migrated state")
+	}
+	if !o.HasNode(0) {
+		t.Fatal("Clear damaged the base")
+	}
+}
+
+func TestOverlayPanics(t *testing.T) {
+	o := NewOverlay(overlayBase())
+	mustPanic(t, func() { o.AddNode(2, 1) })      // collides with base
+	mustPanic(t, func() { o.AddEdge(999, 0, 1) }) // unknown node
+	o.AddNode(10, 1)
+	mustPanic(t, func() { o.AddEdge(10, 0, 0) }) // non-positive weight
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,166 @@
+// Package matching implements the approximate maximum-weight matching
+// algorithms of §3.2–3.3 of the paper: Sorted Heavy Edge Matching (SHEM, the
+// Metis algorithm), the sorting-based Greedy half-approximation, the Global
+// Path Algorithm (GPA), and the parallel scheme that combines per-block
+// sequential matching with locally-heaviest matching on the gap graph.
+//
+// All algorithms maximize the *rating* of the matching (see internal/rating)
+// rather than the raw edge weight; with the Weight rating they degenerate to
+// the classical weight-based versions.
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rating"
+	"repro/internal/rng"
+)
+
+// Matching maps every node to its partner, or -1 when unmatched. A valid
+// matching is symmetric: m[v] == u implies m[u] == v.
+type Matching []int32
+
+// NewEmpty returns an all-unmatched matching over n nodes.
+func NewEmpty(n int) Matching {
+	m := make(Matching, n)
+	for i := range m {
+		m[i] = -1
+	}
+	return m
+}
+
+// Size returns the number of matched edges.
+func (m Matching) Size() int {
+	c := 0
+	for v, u := range m {
+		if u >= 0 && int32(v) < u {
+			c++
+		}
+	}
+	return c
+}
+
+// Weight returns the total edge weight ω of the matching in g.
+func (m Matching) Weight(g *graph.Graph) int64 {
+	var s int64
+	for v, u := range m {
+		if u >= 0 && int32(v) < u {
+			s += g.EdgeWeightTo(int32(v), u)
+		}
+	}
+	return s
+}
+
+// Validate checks symmetry and that every matched pair is an edge of g.
+func (m Matching) Validate(g *graph.Graph) error {
+	if len(m) != g.NumNodes() {
+		return fmt.Errorf("matching: length %d != n %d", len(m), g.NumNodes())
+	}
+	for v, u := range m {
+		if u < 0 {
+			continue
+		}
+		if int(u) >= len(m) || m[u] != int32(v) {
+			return fmt.Errorf("matching: asymmetric pair (%d,%d)", v, u)
+		}
+		if u == int32(v) {
+			return fmt.Errorf("matching: node %d matched to itself", v)
+		}
+		if g.EdgeWeightTo(int32(v), u) == 0 {
+			return fmt.Errorf("matching: pair {%d,%d} is not an edge", v, u)
+		}
+	}
+	return nil
+}
+
+// Algorithm selects a sequential matching algorithm.
+type Algorithm int
+
+const (
+	// GPA is the Global Path Algorithm, the paper's default.
+	GPA Algorithm = iota
+	// SHEM is Sorted Heavy Edge Matching as used in Metis.
+	SHEM
+	// Greedy is the sorted greedy half-approximation.
+	Greedy
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case GPA:
+		return "gpa"
+	case SHEM:
+		return "shem"
+	case Greedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("matching.Algorithm(%d)", int(a))
+	}
+}
+
+// Edge is one undirected edge with its precomputed rating and a random tie
+// break.
+type Edge struct {
+	U, V int32
+	W    int64
+	R    float64
+	tie  uint32
+}
+
+// allEdges lists each undirected edge of g once (U < V) with ratings and
+// random tie breaks from r.
+func allEdges(g *graph.Graph, rt *rating.Rater, r *rng.RNG) []Edge {
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		adj := g.Adj(v)
+		ws := g.AdjWeights(v)
+		for i, u := range adj {
+			if u > v {
+				edges = append(edges, Edge{v, u, ws[i], rt.Rate(v, u, ws[i]), uint32(r.Uint64())})
+			}
+		}
+	}
+	return edges
+}
+
+// sortEdgesDesc sorts edges by descending rating with random tie breaks.
+func sortEdgesDesc(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].R != edges[j].R {
+			return edges[i].R > edges[j].R
+		}
+		return edges[i].tie > edges[j].tie
+	})
+}
+
+// Compute runs the selected sequential algorithm on the whole graph with no
+// cluster-weight bound.
+func Compute(g *graph.Graph, rt *rating.Rater, alg Algorithm, r *rng.RNG) Matching {
+	return ComputeBounded(g, rt, alg, r, 0)
+}
+
+// ComputeBounded is Compute with a maximum combined node weight per matched
+// pair (0 = unbounded). Partitioners cap cluster weights during coarsening —
+// Metis' maxvwgt — so that no coarse node grows beyond what the balance
+// constraint of the final partition can accommodate; without the cap,
+// tie-heavy ratings such as the plain edge weight let single clusters
+// snowball.
+func ComputeBounded(g *graph.Graph, rt *rating.Rater, alg Algorithm, r *rng.RNG, maxPair int64) Matching {
+	switch alg {
+	case SHEM:
+		return shem(g, rt, r, nil, maxPair)
+	case Greedy:
+		m := NewEmpty(g.NumNodes())
+		greedyEdges(g, allEdges(g, rt, r), m, maxPair)
+		return m
+	case GPA:
+		m := NewEmpty(g.NumNodes())
+		gpaEdges(g, allEdges(g, rt, r), m, maxPair)
+		return m
+	default:
+		panic("matching: unknown algorithm")
+	}
+}

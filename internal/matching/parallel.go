@@ -1,0 +1,170 @@
+package matching
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rating"
+	"repro/internal/rng"
+)
+
+// Parallel computes a matching with the scheme of §3.3: the node set is
+// prepartitioned into nparts blocks (block[v] gives the block of v, e.g.
+// from recursive coordinate bisection); a sequential matching algorithm runs
+// concurrently on the internal edges of every block; finally the *gap graph*
+// — cross-block edges whose rating exceeds that of the edges matched locally
+// to both endpoints — is matched by iterated locally-heaviest matching
+// (Manne–Bisseling style). When a gap edge wins, the local matches of its
+// endpoints are dissolved.
+//
+// The result is a valid matching of g. With nparts == 1 the function is
+// equivalent to Compute.
+func Parallel(g *graph.Graph, rt *rating.Rater, alg Algorithm, block []int32, nparts int, seed uint64) Matching {
+	return ParallelBounded(g, rt, alg, block, nparts, seed, 0)
+}
+
+// ParallelBounded is Parallel with a maximum combined node weight per
+// matched pair (0 = unbounded); see ComputeBounded.
+func ParallelBounded(g *graph.Graph, rt *rating.Rater, alg Algorithm, block []int32, nparts int, seed uint64, maxPair int64) Matching {
+	n := g.NumNodes()
+	m := NewEmpty(n)
+	if nparts <= 1 {
+		return ComputeBounded(g, rt, alg, rng.NewStream(seed, 0), maxPair)
+	}
+
+	// Group nodes by block.
+	nodesOf := make([][]int32, nparts)
+	for v := 0; v < n; v++ {
+		b := block[v]
+		nodesOf[b] = append(nodesOf[b], int32(v))
+	}
+
+	// Phase 1: local matching per block, in parallel. Each worker touches
+	// only m[v] for v in its block, so no synchronization beyond the final
+	// barrier is needed.
+	var wg sync.WaitGroup
+	for p := 0; p < nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := rng.NewStream(seed, uint64(p))
+			switch alg {
+			case SHEM:
+				inSet := make([]bool, n)
+				for _, v := range nodesOf[p] {
+					inSet[v] = true
+				}
+				shemInto(g, rt, r, nodesOf[p], inSet, m, maxPair)
+			default:
+				// Edge-based algorithms run on the block's internal edges.
+				var edges []Edge
+				for _, v := range nodesOf[p] {
+					adj := g.Adj(v)
+					ws := g.AdjWeights(v)
+					for i, u := range adj {
+						if u > v && block[u] == block[v] {
+							edges = append(edges, Edge{v, u, ws[i], rt.Rate(v, u, ws[i]), uint32(r.Uint64())})
+						}
+					}
+				}
+				if alg == Greedy {
+					greedyEdges(g, edges, m, maxPair)
+				} else {
+					gpaEdges(g, edges, m, maxPair)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Phase 2: gap graph. localRating[v] is the rating of v's local match
+	// (0 when unmatched).
+	localRating := make([]float64, n)
+	for v := int32(0); v < int32(n); v++ {
+		if u := m[v]; u >= 0 {
+			localRating[v] = rt.Rate(v, u, g.EdgeWeightTo(v, u))
+		}
+	}
+	var gap []Edge
+	for v := int32(0); v < int32(n); v++ {
+		adj := g.Adj(v)
+		ws := g.AdjWeights(v)
+		for i, u := range adj {
+			if u <= v || block[u] == block[v] {
+				continue
+			}
+			if maxPair > 0 && g.NodeWeight(v)+g.NodeWeight(u) > maxPair {
+				continue
+			}
+			r := rt.Rate(v, u, ws[i])
+			if r > localRating[v] && r > localRating[u] {
+				gap = append(gap, Edge{v, u, ws[i], r, 0})
+			}
+		}
+	}
+	matchLocallyHeaviest(n, gap, m)
+	return m
+}
+
+// matchLocallyHeaviest iteratively matches gap edges that are the heaviest
+// remaining gap edge at both endpoints. Endpoints that had a (lighter) local
+// match get it dissolved. Terminates because every round either matches an
+// edge or runs out of edges. n is the node count of the underlying graph.
+func matchLocallyHeaviest(n int, gap []Edge, m Matching) {
+	if len(gap) == 0 {
+		return
+	}
+	gapMatched := make([]bool, n) // nodes matched during the gap phase
+	best := make([]int32, n)      // best[v] = index of v's heaviest remaining gap edge
+	for i := range best {
+		best[i] = -1
+	}
+	better := func(i, j int32) bool {
+		if gap[i].R != gap[j].R {
+			return gap[i].R > gap[j].R
+		}
+		// Deterministic tie break on endpoints.
+		if gap[i].U != gap[j].U {
+			return gap[i].U < gap[j].U
+		}
+		return gap[i].V < gap[j].V
+	}
+	for len(gap) > 0 {
+		for i, e := range gap {
+			if j := best[e.U]; j < 0 || better(int32(i), j) {
+				best[e.U] = int32(i)
+			}
+			if j := best[e.V]; j < 0 || better(int32(i), j) {
+				best[e.V] = int32(i)
+			}
+		}
+		progress := false
+		for i, e := range gap {
+			if best[e.U] == int32(i) && best[e.V] == int32(i) {
+				// Dissolve local matches, then adopt the gap edge.
+				if old := m[e.U]; old >= 0 {
+					m[old] = -1
+				}
+				if old := m[e.V]; old >= 0 {
+					m[old] = -1
+				}
+				m[e.U], m[e.V] = e.V, e.U
+				gapMatched[e.U], gapMatched[e.V] = true, true
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+		// Compact: drop edges incident to matched nodes so later rounds scan
+		// only the live remainder.
+		live := gap[:0]
+		for _, e := range gap {
+			best[e.U], best[e.V] = -1, -1
+			if !gapMatched[e.U] && !gapMatched[e.V] {
+				live = append(live, e)
+			}
+		}
+		gap = live
+	}
+}

@@ -1,0 +1,298 @@
+package matching
+
+import (
+	"sort"
+
+	"repro/internal/dsu"
+	"repro/internal/graph"
+	"repro/internal/rating"
+	"repro/internal/rng"
+)
+
+// shem implements Sorted Heavy Edge Matching: nodes are scanned in order of
+// increasing degree (random within equal degrees); each unmatched node is
+// matched to the unmatched neighbor with the highest edge rating. If nodes
+// is non-nil, matching is restricted to that node subset and to edges with
+// both endpoints inside it (used by the parallel scheme).
+func shem(g *graph.Graph, rt *rating.Rater, r *rng.RNG, nodes []int32, maxPair int64) Matching {
+	m := NewEmpty(g.NumNodes())
+	shemInto(g, rt, r, nodes, nil, m, maxPair)
+	return m
+}
+
+// shemInto is shem writing into an existing matching; inSet restricts the
+// eligible partners (nil means all nodes are eligible).
+func shemInto(g *graph.Graph, rt *rating.Rater, r *rng.RNG, nodes []int32, inSet []bool, m Matching, maxPair int64) {
+	var order []int32
+	if nodes == nil {
+		order = make([]int32, g.NumNodes())
+		for i := range order {
+			order[i] = int32(i)
+		}
+	} else {
+		order = append([]int32(nil), nodes...)
+	}
+	// Sort by increasing degree with random tie breaks.
+	ties := make([]uint32, len(order))
+	for i := range ties {
+		ties[i] = uint32(r.Uint64())
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return ties[i] < ties[j]
+	})
+	for _, v := range order {
+		if m[v] >= 0 {
+			continue
+		}
+		adj := g.Adj(v)
+		ws := g.AdjWeights(v)
+		best := int32(-1)
+		bestR := 0.0
+		for i, u := range adj {
+			// The block check must precede the m[u] read: in the parallel
+			// scheme, matching entries of foreign blocks are concurrently
+			// written by their owners.
+			if inSet != nil && !inSet[u] {
+				continue
+			}
+			if m[u] >= 0 {
+				continue
+			}
+			if maxPair > 0 && g.NodeWeight(v)+g.NodeWeight(u) > maxPair {
+				continue
+			}
+			rr := rt.Rate(v, u, ws[i])
+			if best < 0 || rr > bestR {
+				best, bestR = u, rr
+			}
+		}
+		if best >= 0 {
+			m[v] = best
+			m[best] = v
+		}
+	}
+}
+
+// greedyEdges runs the sorted greedy half-approximation over the given edge
+// set, writing into m: edges are scanned by descending rating and taken
+// whenever both endpoints are free.
+func greedyEdges(g *graph.Graph, edges []Edge, m Matching, maxPair int64) {
+	sortEdgesDesc(edges)
+	for _, e := range edges {
+		if maxPair > 0 && g.NodeWeight(e.U)+g.NodeWeight(e.V) > maxPair {
+			continue
+		}
+		if m[e.U] < 0 && m[e.V] < 0 {
+			m[e.U] = e.V
+			m[e.V] = e.U
+		}
+	}
+}
+
+// gpaEdges runs the Global Path Algorithm over the given edge set, writing
+// into m. GPA scans edges by descending rating like Greedy but first grows a
+// collection of paths and even cycles; it then computes an optimal matching
+// on each path/cycle by dynamic programming. n is the number of nodes in the
+// underlying graph.
+func gpaEdges(g *graph.Graph, edges []Edge, m Matching, maxPair int64) {
+	n := g.NumNodes()
+	sortEdgesDesc(edges)
+	deg := make([]int8, n)
+	d := dsu.New(n)
+	odd := make([]bool, n)    // parity of edge count, stored at DSU roots
+	closed := make([]bool, n) // piece already closed into a cycle
+	selected := edges[:0]
+	for _, e := range edges {
+		if deg[e.U] >= 2 || deg[e.V] >= 2 {
+			continue
+		}
+		// The path/cycle DP may pick any selected edge, so the pair bound
+		// must hold at selection time already.
+		if maxPair > 0 && g.NodeWeight(e.U)+g.NodeWeight(e.V) > maxPair {
+			continue
+		}
+		ru, rv := d.Find(e.U), d.Find(e.V)
+		if closed[ru] || closed[rv] {
+			continue
+		}
+		if ru == rv {
+			// Both endpoints of one path: closing it creates a cycle with
+			// edgeCount+1 edges, which must be even.
+			if !odd[ru] {
+				continue
+			}
+			closed[ru] = true
+			deg[e.U]++
+			deg[e.V]++
+			selected = append(selected, e)
+			continue
+		}
+		// The merged path has cu+cv+1 edges, which is odd iff cu and cv
+		// have equal parity.
+		newOdd := odd[ru] == odd[rv]
+		d.Union(e.U, e.V)
+		root := d.Find(e.U)
+		odd[root] = newOdd
+		closed[root] = false
+		deg[e.U]++
+		deg[e.V]++
+		selected = append(selected, e)
+	}
+	matchPathsAndCycles(n, selected, deg, m)
+}
+
+// matchPathsAndCycles decomposes the degree-≤2 edge set into paths and
+// cycles, solves each optimally by dynamic programming, and records the
+// chosen edges in m.
+func matchPathsAndCycles(n int, selected []Edge, deg []int8, m Matching) {
+	// Adjacency among selected edges: at most two incident edges per node.
+	type halfEdge struct {
+		to int32
+		r  float64
+	}
+	adj := make([][2]halfEdge, n)
+	cnt := make([]int8, n)
+	push := func(v, u int32, r float64) {
+		adj[v][cnt[v]] = halfEdge{u, r}
+		cnt[v]++
+	}
+	for _, e := range selected {
+		push(e.U, e.V, e.R)
+		push(e.V, e.U, e.R)
+	}
+	visited := make([]bool, n)
+	var pathU, pathV []int32
+	var pathR []float64
+
+	walk := func(start int32) bool /*isCycle*/ {
+		pathU, pathV, pathR = pathU[:0], pathV[:0], pathR[:0]
+		prev := int32(-1)
+		v := start
+		for {
+			visited[v] = true
+			var next halfEdge
+			found := false
+			for i := int8(0); i < cnt[v]; i++ {
+				if adj[v][i].to != prev {
+					next = adj[v][i]
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false // path ended
+			}
+			pathU = append(pathU, v)
+			pathV = append(pathV, next.to)
+			pathR = append(pathR, next.r)
+			if next.to == start {
+				return true // cycle closed
+			}
+			if visited[next.to] {
+				return false
+			}
+			prev, v = v, next.to
+		}
+	}
+
+	apply := func(take []bool) {
+		for i, t := range take {
+			if t {
+				m[pathU[i]] = pathV[i]
+				m[pathV[i]] = pathU[i]
+			}
+		}
+	}
+
+	// Paths first (endpoints have degree 1).
+	for v := int32(0); v < int32(n); v++ {
+		if !visited[v] && cnt[v] == 1 {
+			walk(v)
+			apply(maxPathMatching(pathR))
+		}
+	}
+	// Remaining unvisited nodes with edges lie on cycles.
+	for v := int32(0); v < int32(n); v++ {
+		if !visited[v] && cnt[v] == 2 {
+			if !walk(v) {
+				continue // defensive: should not happen
+			}
+			apply(maxCycleMatching(pathR))
+		}
+	}
+	// A walk that started mid-path would miss one side; starting only at
+	// degree-1 nodes (paths) and unvisited degree-2 nodes (cycles) covers
+	// everything because paths are exhausted before cycles.
+}
+
+// maxPathMatching returns, for a path whose consecutive edges have ratings
+// r, the optimal take/skip choice maximizing the total rating of pairwise
+// non-adjacent edges.
+func maxPathMatching(r []float64) []bool {
+	k := len(r)
+	take := make([]bool, k)
+	if k == 0 {
+		return take
+	}
+	// dp[i] = best over first i+1 edges; choice[i] = whether edge i taken in
+	// the optimum for prefix i.
+	dpTake := make([]float64, k) // best with edge i taken
+	dpSkip := make([]float64, k) // best with edge i skipped
+	dpTake[0], dpSkip[0] = r[0], 0
+	for i := 1; i < k; i++ {
+		dpTake[i] = dpSkip[i-1] + r[i]
+		dpSkip[i] = dpTake[i-1]
+		if dpSkip[i-1] > dpSkip[i] {
+			dpSkip[i] = dpSkip[i-1]
+		}
+	}
+	// Backtrack.
+	taking := dpTake[k-1] >= dpSkip[k-1]
+	for i := k - 1; i >= 0; i-- {
+		if taking {
+			take[i] = true
+			taking = false // next (previous) edge must be skipped
+		} else {
+			if i > 0 {
+				taking = dpTake[i-1] >= dpSkip[i-1]
+			}
+		}
+	}
+	return take
+}
+
+// maxCycleMatching solves the cycle case: either the last edge is excluded
+// (path over edges 0..k-2) or it is taken (forcing its neighbors, edges 0
+// and k-2, out; path over 1..k-3).
+func maxCycleMatching(r []float64) []bool {
+	k := len(r)
+	if k < 3 {
+		// Degenerate; treat as path.
+		return maxPathMatching(r)
+	}
+	sum := func(take []bool, rs []float64) float64 {
+		s := 0.0
+		for i, t := range take {
+			if t {
+				s += rs[i]
+			}
+		}
+		return s
+	}
+	a := maxPathMatching(r[:k-1]) // last edge excluded
+	aVal := sum(a, r[:k-1])
+	bInner := maxPathMatching(r[1 : k-2])
+	bVal := r[k-1] + sum(bInner, r[1:k-2])
+	take := make([]bool, k)
+	if aVal >= bVal {
+		copy(take, a)
+		return take
+	}
+	take[k-1] = true
+	copy(take[1:], bInner)
+	return take
+}

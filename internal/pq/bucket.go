@@ -1,0 +1,114 @@
+package pq
+
+// BucketQueue is a monotone bucket priority queue over nodes with small
+// integer gains in [-maxGain, +maxGain], the classical FM data structure:
+// all operations are O(1) except PopMax, which walks down from the highest
+// non-empty bucket. For unit-weight graphs the gain range is bounded by the
+// maximum degree, making this faster than the binary heap; the FM search
+// uses the heap because contracted graphs carry large weights, but the
+// bucket queue is provided (and benchmarked) for the unit-weight fast path.
+type BucketQueue struct {
+	maxGain int
+	buckets [][]int32
+	pos     []int32 // pos[node] = index within its bucket, -1 if absent
+	gain    []int32 // current gain per node (offset by maxGain)
+	highest int     // highest possibly-non-empty bucket index
+	size    int
+}
+
+// NewBucketQueue returns a queue for node ids in [0, n) and gains in
+// [-maxGain, maxGain].
+func NewBucketQueue(n, maxGain int) *BucketQueue {
+	q := &BucketQueue{
+		maxGain: maxGain,
+		buckets: make([][]int32, 2*maxGain+1),
+		pos:     make([]int32, n),
+		gain:    make([]int32, n),
+		highest: -1,
+	}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	return q
+}
+
+// Len returns the number of queued nodes.
+func (q *BucketQueue) Len() int { return q.size }
+
+// Empty reports whether no nodes are queued.
+func (q *BucketQueue) Empty() bool { return q.size == 0 }
+
+// Contains reports whether v is queued.
+func (q *BucketQueue) Contains(v int32) bool { return q.pos[v] >= 0 }
+
+// Gain returns v's current gain; v must be queued.
+func (q *BucketQueue) Gain(v int32) int64 {
+	if q.pos[v] < 0 {
+		panic("pq: Gain of absent node")
+	}
+	return int64(q.gain[v])
+}
+
+func (q *BucketQueue) bucketOf(gain int) int {
+	if gain > q.maxGain || gain < -q.maxGain {
+		panic("pq: gain outside bucket range")
+	}
+	return gain + q.maxGain
+}
+
+// Push inserts v with the given gain; v must be absent.
+func (q *BucketQueue) Push(v int32, gain int) {
+	if q.pos[v] >= 0 {
+		panic("pq: Push of node already in queue")
+	}
+	b := q.bucketOf(gain)
+	q.buckets[b] = append(q.buckets[b], v)
+	q.pos[v] = int32(len(q.buckets[b]) - 1)
+	q.gain[v] = int32(gain)
+	if b > q.highest {
+		q.highest = b
+	}
+	q.size++
+}
+
+// Update changes v's gain; v must be queued.
+func (q *BucketQueue) Update(v int32, gain int) {
+	q.Remove(v)
+	q.Push(v, gain)
+}
+
+// Remove deletes v if queued (no-op otherwise).
+func (q *BucketQueue) Remove(v int32) {
+	p := q.pos[v]
+	if p < 0 {
+		return
+	}
+	b := q.bucketOf(int(q.gain[v]))
+	bucket := q.buckets[b]
+	last := len(bucket) - 1
+	if int(p) != last {
+		bucket[p] = bucket[last]
+		q.pos[bucket[p]] = p
+	}
+	q.buckets[b] = bucket[:last]
+	q.pos[v] = -1
+	q.size--
+}
+
+// PopMax removes and returns a node with the maximum gain. The queue is
+// "monotone-friendly": the highest pointer only moves down between pushes.
+func (q *BucketQueue) PopMax() (int32, int64) {
+	if q.size == 0 {
+		panic("pq: PopMax of empty queue")
+	}
+	for q.highest >= 0 && len(q.buckets[q.highest]) == 0 {
+		q.highest--
+	}
+	bucket := q.buckets[q.highest]
+	v := bucket[len(bucket)-1]
+	g := int64(q.gain[v])
+	q.buckets[q.highest] = bucket[:len(bucket)-1]
+	q.pos[v] = -1
+	q.size--
+	return v, g
+}

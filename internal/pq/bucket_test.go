@@ -1,0 +1,141 @@
+package pq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBucketBasic(t *testing.T) {
+	q := NewBucketQueue(8, 10)
+	q.Push(0, 3)
+	q.Push(1, -5)
+	q.Push(2, 10)
+	q.Push(3, 10)
+	if q.Len() != 4 || q.Empty() {
+		t.Fatal("size wrong")
+	}
+	v, g := q.PopMax()
+	if g != 10 || (v != 2 && v != 3) {
+		t.Fatalf("PopMax = (%d,%d)", v, g)
+	}
+	v2, g2 := q.PopMax()
+	if g2 != 10 || v2 == v {
+		t.Fatalf("second PopMax = (%d,%d)", v2, g2)
+	}
+	if v3, g3 := q.PopMax(); v3 != 0 || g3 != 3 {
+		t.Fatalf("third PopMax = (%d,%d)", v3, g3)
+	}
+	if v4, g4 := q.PopMax(); v4 != 1 || g4 != -5 {
+		t.Fatalf("fourth PopMax = (%d,%d)", v4, g4)
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestBucketUpdateRemove(t *testing.T) {
+	q := NewBucketQueue(4, 8)
+	q.Push(0, 0)
+	q.Push(1, 1)
+	q.Update(0, 8)
+	if g := q.Gain(0); g != 8 {
+		t.Fatalf("Gain = %d", g)
+	}
+	if v, _ := q.PopMax(); v != 0 {
+		t.Fatal("update did not reorder")
+	}
+	q.Remove(1)
+	q.Remove(1) // idempotent
+	if !q.Empty() || q.Contains(1) {
+		t.Fatal("remove broken")
+	}
+}
+
+func TestBucketPanics(t *testing.T) {
+	q := NewBucketQueue(2, 3)
+	mustPanicBucket(t, func() { q.Push(0, 4) }) // out of range
+	q.Push(0, 1)
+	mustPanicBucket(t, func() { q.Push(0, 1) }) // duplicate
+	mustPanicBucket(t, func() { q.Gain(1) })    // absent
+	q.PopMax()
+	mustPanicBucket(t, func() { q.PopMax() }) // empty
+}
+
+func mustPanicBucket(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// TestBucketMatchesHeap cross-checks the bucket queue against GainQueue
+// under random operation sequences.
+func TestBucketMatchesHeap(t *testing.T) {
+	master := rng.New(808)
+	f := func(seed uint16) bool {
+		r := master.Split(uint64(seed))
+		const n, maxGain = 24, 12
+		bq := NewBucketQueue(n, maxGain)
+		hq := NewGainQueue(n)
+		for step := 0; step < 200; step++ {
+			v := int32(r.Intn(n))
+			switch r.Intn(4) {
+			case 0:
+				if !bq.Contains(v) {
+					g := r.Intn(2*maxGain+1) - maxGain
+					bq.Push(v, g)
+					hq.Push(v, int64(g), 0)
+				}
+			case 1:
+				if bq.Contains(v) {
+					g := r.Intn(2*maxGain+1) - maxGain
+					bq.Update(v, g)
+					hq.Update(v, int64(g))
+				}
+			case 2:
+				bq.Remove(v)
+				hq.Remove(v)
+			case 3:
+				if !bq.Empty() {
+					bv, bg := bq.PopMax()
+					hv, hg := hq.PopMax()
+					if bg != hg {
+						return false
+					}
+					if bv != hv {
+						// Equal-gain tie broken differently: drop the
+						// counterpart from each queue to re-sync contents.
+						bq.Remove(hv)
+						hq.Remove(bv)
+					}
+				}
+			}
+			if bq.Len() != hq.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBucketQueue(b *testing.B) {
+	r := rng.New(1)
+	const n = 1 << 14
+	for i := 0; i < b.N; i++ {
+		q := NewBucketQueue(n, 64)
+		for v := int32(0); v < n; v++ {
+			q.Push(v, r.Intn(129)-64)
+		}
+		for !q.Empty() {
+			q.PopMax()
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package rating
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// weightedTriangle: nodes 0,1,2 with weights 1,2,4; edges 0-1 w=2, 1-2 w=3,
+// 0-2 w=1.
+func weightedTriangle() *graph.Graph {
+	b := graph.NewBuilder(3)
+	b.SetNodeWeight(0, 1)
+	b.SetNodeWeight(1, 2)
+	b.SetNodeWeight(2, 4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(0, 2, 1)
+	return b.Build()
+}
+
+func TestRatingValues(t *testing.T) {
+	g := weightedTriangle()
+	cases := []struct {
+		f    Func
+		u, v int32
+		w    int64
+		want float64
+	}{
+		{Weight, 0, 1, 2, 2},
+		{Expansion, 0, 1, 2, 2.0 / 3},
+		{ExpansionStar, 0, 1, 2, 1},
+		{ExpansionStar2, 0, 1, 2, 2},
+		{ExpansionStar2, 1, 2, 3, 9.0 / 8},
+		// Out(0)=3, Out(1)=5 → innerOuter(0,1) = 2/(3+5-4) = 0.5
+		{InnerOuter, 0, 1, 2, 0.5},
+		// Out(1)=5, Out(2)=4 → innerOuter(1,2) = 3/(5+4-6) = 1
+		{InnerOuter, 1, 2, 3, 1},
+	}
+	for _, c := range cases {
+		r := NewRater(c.f, g)
+		got := r.Rate(c.u, c.v, c.w)
+		if got != c.want {
+			t.Errorf("%v(%d,%d) = %v, want %v", c.f, c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestInnerOuterIsolatedPair(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 5)
+	g := b.Build()
+	r := NewRater(InnerOuter, g)
+	if got := r.Rate(0, 1, 5); got < 1e17 {
+		t.Fatalf("isolated pair must rate near-infinite, got %v", got)
+	}
+}
+
+func TestRatingSymmetry(t *testing.T) {
+	g := weightedTriangle()
+	for _, f := range All {
+		r := NewRater(f, g)
+		if r.Rate(0, 1, 2) != r.Rate(1, 0, 2) {
+			t.Errorf("%v is not symmetric", f)
+		}
+	}
+}
+
+func TestExpansionPrefersLightNodes(t *testing.T) {
+	// Same edge weight; endpoints of different node weight. All expansion
+	// variants must prefer the light pair; plain Weight is indifferent.
+	b := graph.NewBuilder(4)
+	b.SetNodeWeight(0, 1)
+	b.SetNodeWeight(1, 1)
+	b.SetNodeWeight(2, 10)
+	b.SetNodeWeight(3, 10)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(2, 3, 5)
+	g := b.Build()
+	for _, f := range []Func{Expansion, ExpansionStar, ExpansionStar2} {
+		r := NewRater(f, g)
+		if r.Rate(0, 1, 5) <= r.Rate(2, 3, 5) {
+			t.Errorf("%v does not prefer light nodes", f)
+		}
+	}
+	r := NewRater(Weight, g)
+	if r.Rate(0, 1, 5) != r.Rate(2, 3, 5) {
+		t.Error("Weight should ignore node weights")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	names := map[Func]string{
+		Weight: "weight", Expansion: "expansion", ExpansionStar: "expansion*",
+		ExpansionStar2: "expansion*2", InnerOuter: "innerOuter",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(f), f.String(), want)
+		}
+	}
+}

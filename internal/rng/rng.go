@@ -1,0 +1,133 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the partitioner.
+//
+// All randomized components of the partitioner (matching tie breaking, queue
+// initialization order, initial-partitioning seeds, the coin flips of the
+// distributed edge-coloring algorithm) draw from this package so that every
+// experiment is exactly reproducible from a single seed. The generator is an
+// xoshiro256**-style generator seeded through splitmix64, which also gives us
+// cheap, well-distributed stream splitting: each simulated processing element
+// (PE) derives its own independent stream from the master seed.
+package rng
+
+import "math/bits"
+
+// RNG is a deterministic random number generator. The zero value is not
+// usable; construct one with New.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances x and returns a well-mixed 64-bit value. It is the
+// recommended seeding procedure for xoshiro-family generators.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	r.s2 = splitmix64(&x)
+	r.s3 = splitmix64(&x)
+	return r
+}
+
+// Split derives an independent generator for stream id. Two generators
+// obtained from the same parent with different ids produce statistically
+// independent sequences; the derivation is deterministic.
+func (r *RNG) Split(id uint64) *RNG {
+	x := r.Uint64() ^ (id+1)*0x9e3779b97f4a7c15
+	return New(splitmix64(&x))
+}
+
+// NewStream returns a generator for PE pe derived from a master seed without
+// mutating any existing generator.
+func NewStream(seed, pe uint64) *RNG {
+	x := seed ^ (pe+1)*0xd1342543de82ef95
+	return New(splitmix64(&x))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method.
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Int31n is like Intn but returns an int32, for use with CSR node ids.
+func (r *RNG) Int31n(n int32) int32 {
+	return int32(r.Intn(int(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip. The distributed edge-coloring algorithm uses
+// this as its active/passive coin.
+func (r *RNG) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Perm returns a random permutation of [0, n) as a fresh slice.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Perm32 returns a random permutation of [0, n) as int32 values.
+func (r *RNG) Perm32(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes p in place (Fisher–Yates).
+func (r *RNG) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,170 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	s1 := NewStream(7, 0)
+	s2 := NewStream(7, 1)
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("streams for distinct PEs coincide")
+	}
+	// Same (seed, pe) must reproduce.
+	a, b := NewStream(9, 3), NewStream(9, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("NewStream is not deterministic")
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(5).Split(2)
+	b := New(5).Split(2)
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(123)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates too far from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(4)
+	heads := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if heads < trials*45/100 || heads > trials*55/100 {
+		t.Fatalf("coin is unfair: %d/%d heads", heads, trials)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) produced invalid permutation %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPerm32IsPermutation(t *testing.T) {
+	r := New(8)
+	p := r.Perm32(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("Perm32 produced invalid permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(3)
+	p := []int{5, 6, 7, 8, 9}
+	r.Shuffle(p)
+	sum := 0
+	for _, v := range p {
+		sum += v
+	}
+	if sum != 35 {
+		t.Fatalf("Shuffle changed contents: %v", p)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}

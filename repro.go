@@ -1,0 +1,144 @@
+// Package repro is a from-scratch Go reproduction of KaPPa, the scalable
+// high-quality parallel graph partitioner of Holtgrewe, Sanders and Schulz
+// ("Engineering a Scalable High Quality Graph Partitioner", IPDPS 2010).
+//
+// The package is a thin facade over the implementation packages under
+// internal/: it re-exports the graph data structure, the benchmark-family
+// graph generators, the KaPPa configuration presets (Minimal/Fast/Strong),
+// the partitioning entry points, and the baseline partitioners used by the
+// paper's comparison tables.
+//
+// Quick start:
+//
+//	g := repro.RGG(15, 1)                     // 2^15-node random geometric graph
+//	cfg := repro.NewConfig(repro.Fast, 8)     // KaPPa-Fast, k = 8
+//	cfg.Seed = 42
+//	res := repro.Partition(g, cfg)
+//	fmt.Println(res.Cut, res.Balance)
+package repro
+
+import (
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/part"
+)
+
+// Graph is the weighted undirected graph in adjacency-array (CSR) form.
+type Graph = graph.Graph
+
+// Builder incrementally assembles a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// ReadMetis parses a graph in METIS/Chaco format.
+func ReadMetis(r io.Reader) (*Graph, error) { return graph.ReadMetis(r) }
+
+// Config carries every tuning parameter of the partitioner (Table 2).
+type Config = core.Config
+
+// Variant selects one of the paper's preset configurations.
+type Variant = core.Variant
+
+// Preset variants of Table 2.
+const (
+	Minimal = core.Minimal
+	Fast    = core.Fast
+	Strong  = core.Strong
+)
+
+// NewConfig returns the preset configuration for variant v and k blocks.
+func NewConfig(v Variant, k int) Config { return core.NewConfig(v, k) }
+
+// Result reports a finished partitioning run.
+type Result = core.Result
+
+// Partition runs the full KaPPa pipeline (parallel coarsening, initial
+// partitioning, parallel pairwise refinement) on g.
+func Partition(g *Graph, cfg Config) Result { return core.Partition(g, cfg) }
+
+// PartitionK partitions g into k blocks with the Fast preset and 3% allowed
+// imbalance — the everyday entry point.
+func PartitionK(g *Graph, k int, seed uint64) Result {
+	cfg := core.NewConfig(core.Fast, k)
+	cfg.Seed = seed
+	return core.Partition(g, cfg)
+}
+
+// RefineExisting improves an existing block assignment in place of a full
+// repartition (the repartitioning building block of the paper's future-work
+// section); it returns the refined blocks and their cut.
+func RefineExisting(g *Graph, cfg Config, blocks []int32) ([]int32, int64) {
+	return core.RefineExisting(g, cfg, blocks)
+}
+
+// EvolveResult reports an evolutionary multistart run.
+type EvolveResult = core.EvolveResult
+
+// Evolve combines KaPPa with evolutionary multistart search (population of
+// seeded runs, champion re-refinement, restart immigration); the paper
+// expects this regime to beat plain restarts for large k.
+func Evolve(g *Graph, cfg Config, population, generations int) EvolveResult {
+	return core.Evolve(g, cfg, population, generations)
+}
+
+// Evaluate recomputes cut, balance and feasibility of a block assignment.
+func Evaluate(g *Graph, k int, eps float64, blocks []int32) (cut int64, balance float64, feasible bool) {
+	p := part.FromBlocks(g, k, eps, blocks)
+	return p.Cut(), p.Imbalance(), p.Feasible()
+}
+
+// BaselineTool selects one of the comparison partitioners of §6.2.
+type BaselineTool = baseline.Tool
+
+// Baseline partitioners.
+const (
+	KMetisLike   = baseline.KMetisLike
+	ParMetisLike = baseline.ParMetisLike
+	ScotchLike   = baseline.ScotchLike
+)
+
+// BaselineResult reports one baseline run.
+type BaselineResult = baseline.Result
+
+// RunBaseline partitions g with one of the comparison tools.
+func RunBaseline(g *Graph, k int, eps float64, tool BaselineTool, seed uint64) BaselineResult {
+	return baseline.Run(g, k, eps, tool, seed)
+}
+
+// Benchmark-family graph generators (Table 1).
+
+// RGG generates a random geometric graph with 2^scale nodes (rggX).
+func RGG(scale int, seed uint64) *Graph { return gen.RGG(scale, seed) }
+
+// DelaunayX generates the Delaunay triangulation of 2^scale random points.
+func DelaunayX(scale int, seed uint64) *Graph { return gen.DelaunayX(scale, seed) }
+
+// Grid2D generates a w×h lattice with coordinates.
+func Grid2D(w, h int) *Graph { return gen.Grid2D(w, h) }
+
+// Grid3D generates an x×y×z lattice (3D FEM stand-in).
+func Grid3D(x, y, z int) *Graph { return gen.Grid3D(x, y, z) }
+
+// FEMMesh generates an unstructured 2D triangle mesh with holes.
+func FEMMesh(n, holes int, seed uint64) *Graph { return gen.FEMMesh(n, holes, seed) }
+
+// Road generates a road-network-like graph (near-planar, low degree,
+// obstacle structure).
+func Road(n, obstacles int, seed uint64) *Graph { return gen.Road(n, obstacles, seed) }
+
+// PrefAttach generates a preferential-attachment social network.
+func PrefAttach(n, d int, seed uint64) *Graph { return gen.PrefAttach(n, d, seed) }
+
+// RMAT generates an RMAT power-law graph with 2^scale nodes.
+func RMAT(scale, edgeFactor int, seed uint64) *Graph { return gen.RMAT(scale, edgeFactor, seed) }
+
+// Banded generates a sparse-matrix-like banded graph.
+func Banded(n, blk, band int, fill float64, seed uint64) *Graph {
+	return gen.Banded(n, blk, band, fill, seed)
+}

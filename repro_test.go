@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API surface: build, generate,
+// partition, evaluate, baselines, METIS round trip.
+func TestFacadeEndToEnd(t *testing.T) {
+	b := NewBuilder(6)
+	for v := int32(0); v < 5; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	g := b.Build()
+	res := PartitionK(g, 2, 1)
+	cut, bal, feasible := Evaluate(g, 2, 0.03, res.Blocks)
+	if cut != res.Cut || !feasible || bal > 1.5 {
+		t.Fatalf("facade evaluate mismatch: cut %d/%d bal %f feasible %v", cut, res.Cut, bal, feasible)
+	}
+
+	var buf bytes.Buffer
+	if err := g.WriteMetis(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 6 {
+		t.Fatal("METIS round trip broken through facade")
+	}
+
+	rgg := RGG(10, 3)
+	br := RunBaseline(rgg, 4, 0.03, KMetisLike, 1)
+	if br.Cut <= 0 {
+		t.Fatal("baseline via facade returned no cut")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"rgg", RGG(8, 1)},
+		{"delaunay", DelaunayX(8, 1)},
+		{"grid2d", Grid2D(8, 8)},
+		{"grid3d", Grid3D(4, 4, 4)},
+		{"fem", FEMMesh(800, 2, 1)},
+		{"road", Road(1500, 3, 1)},
+		{"social", PrefAttach(500, 3, 1)},
+		{"rmat", RMAT(8, 8, 1)},
+		{"banded", Banded(500, 8, 16, 0.5, 1)},
+	}
+	for _, c := range cases {
+		if c.g.NumNodes() == 0 || c.g.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", c.name)
+		}
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestFacadePresets(t *testing.T) {
+	g := Grid2D(16, 16)
+	for _, v := range []Variant{Minimal, Fast, Strong} {
+		cfg := NewConfig(v, 4)
+		cfg.Seed = 2
+		res := Partition(g, cfg)
+		if _, _, feasible := Evaluate(g, 4, cfg.Eps, res.Blocks); !feasible {
+			t.Errorf("%v: infeasible", v)
+		}
+	}
+}

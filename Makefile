@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: all vet build test check bench
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 gate enforced by CI.
+check: vet build test
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/part"
@@ -32,6 +33,7 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "random seed")
 		outFile = flag.String("out", "", "write the block of each node, one per line")
 		pes     = flag.Int("pes", 0, "number of simulated PEs for coarsening (default: k)")
+		distFl  = flag.String("dist", "auto", "node-to-PE distribution: auto | ranges | rcb | sfc")
 		eval    = flag.String("eval", "", "evaluate (and refine) an existing partition file instead of partitioning from scratch")
 	)
 	flag.Parse()
@@ -57,6 +59,12 @@ func main() {
 	cfg.Eps = *eps
 	cfg.Seed = *seed
 	cfg.PEs = *pes
+	strategy, err := dist.ParseStrategy(*distFl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kappa:", err)
+		os.Exit(1)
+	}
+	cfg.Distribution = strategy
 
 	if *eval != "" {
 		blocks, err := readPartition(*eval, g.NumNodes())
@@ -79,7 +87,7 @@ func main() {
 	res := core.Partition(g, cfg)
 	p := part.FromBlocks(g, *k, *eps, res.Blocks)
 	fmt.Printf("graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
-	fmt.Printf("preset    %s (k=%d, eps=%.2f)\n", variant, *k, *eps)
+	fmt.Printf("preset    %s (k=%d, eps=%.2f, dist=%s)\n", variant, *k, *eps, strategy)
 	fmt.Printf("cut       %d\n", res.Cut)
 	fmt.Printf("balance   %.4f (Lmax %d, feasible %v)\n", res.Balance, p.Lmax(), p.Feasible())
 	fmt.Printf("levels    %d\n", res.Levels)

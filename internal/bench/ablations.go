@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/part"
 	"repro/internal/refine"
@@ -58,6 +59,38 @@ func runKwayVariant(g *graph.Graph, k int, reps int) Row {
 	}
 	row.AvgCut = totalCut / float64(reps)
 	return row
+}
+
+// AblationDistribution contrasts the node-to-PE distribution strategies of
+// §3.3 on the mesh-family instances with coordinates (rgg, Delaunay, grid):
+// per strategy it reports the prepartition's edge locality and per-PE weight
+// imbalance, then the cut the full pipeline reaches when coarsening on top
+// of that distribution. The paper's claim is that geometric prepartitioning
+// (RCB; here also the cheaper SFC) keeps matching local and improves
+// parallel matching quality over plain index ranges.
+func AblationDistribution(w io.Writer, o Options) {
+	o = o.defaults()
+	fmt.Fprintf(w, "Ablation: distribution strategy, KaPPa-Fast, k=%v, %d reps\n", o.Ks, o.Reps)
+	fmt.Fprintf(w, "%-14s %-8s %10s %10s %10s %10s\n", "graph", "dist", "locality", "imbal", "avg cut", "t[s]")
+	strategies := []dist.Strategy{dist.StrategyRanges, dist.StrategyRCB, dist.StrategySFC}
+	for _, in := range o.limit(Calibration()) {
+		g := in.Graph()
+		if !g.HasCoords() {
+			continue // geometric strategies would silently fall back
+		}
+		for _, k := range o.Ks {
+			for _, s := range strategies {
+				assign := dist.Assign(g, s, k)
+				locality := dist.EdgeLocality(g, assign)
+				imbal := dist.Imbalance(g, assign, k)
+				cfg := core.NewConfig(core.Fast, k)
+				cfg.Distribution = s
+				row := RunKaPPa(g, cfg, o.Reps)
+				fmt.Fprintf(w, "%-14s %-8s %10.3f %10.3f %10.0f %10.2f\n",
+					in.Name, s, locality, imbal, row.AvgCut, row.AvgTime.Seconds())
+			}
+		}
+	}
 }
 
 // AblationBandDepth sweeps the BFS band depth (Table 2's 1/5/20 values plus

@@ -131,6 +131,20 @@ func TestAblationSmoke(t *testing.T) {
 	}
 }
 
+func TestAblationDistributionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	AblationDistribution(&buf, Options{Reps: 1, Ks: []int{4}, MaxInstances: 3})
+	out := buf.String()
+	for _, want := range []string{"ranges", "rcb", "sfc", "rgg13"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("distribution ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRowTimeAveraging(t *testing.T) {
 	in := ByName("grid64")
 	row := RunKaPPa(in.Graph(), core.NewConfig(core.Minimal, 2), 3)

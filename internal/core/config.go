@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/dist"
 	"repro/internal/initpart"
 	"repro/internal/matching"
 	"repro/internal/rating"
@@ -51,6 +52,12 @@ type Config struct {
 	Schedule    Schedule
 	GapMatching bool // gap-graph matching across PE boundaries (§3.3); off only in ablations
 
+	// Distribution selects the node-to-PE prepartitioning strategy of §3.3
+	// used during parallel coarsening. The zero value (dist.StrategyAuto)
+	// is the paper's behavior: RCB when the graph carries coordinates,
+	// contiguous index ranges otherwise.
+	Distribution dist.Strategy
+
 	// PEs is the number of simulated processing elements used during
 	// coarsening. The paper identifies PEs with blocks; 0 means K.
 	PEs int
@@ -87,15 +94,16 @@ func (v Variant) String() string {
 // NewConfig returns the preset of Table 2 for the given variant.
 func NewConfig(v Variant, k int) Config {
 	c := Config{
-		K:           k,
-		Eps:         0.03,
-		Rating:      rating.ExpansionStar2,
-		Matcher:     matching.GPA,
-		StopAlpha:   60,
-		InitEngine:  initpart.EngineScotch,
-		Strategy:    refine.TopGain,
-		Schedule:    ScheduleColoring,
-		GapMatching: true,
+		K:            k,
+		Eps:          0.03,
+		Rating:       rating.ExpansionStar2,
+		Matcher:      matching.GPA,
+		StopAlpha:    60,
+		InitEngine:   initpart.EngineScotch,
+		Strategy:     refine.TopGain,
+		Schedule:     ScheduleColoring,
+		GapMatching:  true,
+		Distribution: dist.StrategyAuto,
 	}
 	switch v {
 	case Minimal:

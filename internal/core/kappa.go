@@ -71,21 +71,6 @@ func Partition(g *graph.Graph, cfg Config) Result {
 	}
 }
 
-// prepartition assigns graph nodes to PEs: recursive coordinate bisection
-// when coordinates are available (§3.3), contiguous index ranges otherwise.
-// Its only purpose is locality for the matching computation; it does not
-// influence the final partition directly.
-func prepartition(g *graph.Graph, pes int) []int32 {
-	if pes <= 1 {
-		return make([]int32, g.NumNodes())
-	}
-	if g.HasCoords() {
-		x, y := g.Coords()
-		return dist.RCB(x, y, pes)
-	}
-	return dist.IndexRanges(g.NumNodes(), pes)
-}
-
 // buildHierarchy runs parallel coarsening until the stop rule of §4 fires:
 // fewer than max(20·P, n/(α·k²), 2k) nodes remain — the per-PE threshold
 // max(20, n/(αk²)) of the paper summed over PEs — or the graph stops
@@ -114,7 +99,9 @@ func buildHierarchy(g *graph.Graph, cfg *Config) *coarsen.Hierarchy {
 		rt := rating.NewRater(cfg.Rating, cur)
 		var m matching.Matching
 		if pes > 1 {
-			blocks := prepartition(cur, pes)
+			// Prepartition nodes onto PEs (§3.3) for matching locality; the
+			// strategy does not influence the final partition directly.
+			blocks := dist.Assign(cur, cfg.Distribution, pes)
 			if cfg.GapMatching {
 				m = matching.ParallelBounded(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
 			} else {

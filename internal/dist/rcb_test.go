@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomPoints returns n deterministic pseudo-random points in the unit
+// square.
+func randomPoints(n int, seed uint64) (x, y []float64) {
+	r := rng.New(seed)
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Float64()
+		y[i] = r.Float64()
+	}
+	return x, y
+}
+
+func TestRCBBalanceNonPowerOfTwo(t *testing.T) {
+	for _, pes := range []int{2, 3, 4, 5, 6, 7, 8, 12, 13} {
+		for _, seed := range []uint64{1, 2, 3} {
+			x, y := randomPoints(4000, seed)
+			assign := RCB(x, y, pes)
+			checkAssignment(t, assign, len(x), pes)
+			counts := make([]int, pes)
+			for _, pe := range assign {
+				counts[pe]++
+			}
+			avg := float64(len(x)) / float64(pes)
+			for pe, c := range counts {
+				if ratio := float64(c) / avg; ratio > 1.05 || ratio < 0.95 {
+					t.Errorf("pes=%d seed=%d: PE %d holds %d nodes (%.2fx average)", pes, seed, pe, c, ratio)
+				}
+			}
+		}
+	}
+}
+
+func TestRCBDeterministic(t *testing.T) {
+	for _, seed := range []uint64{7, 8, 9} {
+		x, y := randomPoints(2000, seed)
+		a := RCB(x, y, 5)
+		b := RCB(x, y, 5)
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("seed=%d: RCB not deterministic at node %d: %d vs %d", seed, v, a[v], b[v])
+			}
+		}
+	}
+}
+
+func TestRCBWeighted(t *testing.T) {
+	// A heavy cluster in one corner: weighted bisection must move the cut
+	// toward it so that PE weights stay balanced.
+	x, y := randomPoints(3000, 42)
+	w := make([]int64, len(x))
+	for i := range w {
+		w[i] = 1
+		if x[i] < 0.25 && y[i] < 0.25 {
+			w[i] = 20
+		}
+	}
+	pes := 4
+	assign := RCBWeighted(x, y, w, pes)
+	checkAssignment(t, assign, len(x), pes)
+	sums := make([]int64, pes)
+	var total int64
+	for v, pe := range assign {
+		sums[pe] += w[v]
+		total += w[v]
+	}
+	avg := float64(total) / float64(pes)
+	for pe, s := range sums {
+		if ratio := float64(s) / avg; ratio > 1.15 || ratio < 0.85 {
+			t.Errorf("PE %d has weight %d (%.2fx average)", pe, s, ratio)
+		}
+	}
+}
+
+func TestRCBDegenerate(t *testing.T) {
+	// n < pes: all PEs in range, every node its own PE.
+	x, y := randomPoints(3, 11)
+	assign := RCB(x, y, 8)
+	checkAssignment(t, assign, 3, 8)
+
+	// Identical coordinates: ties break by id, split must still balance.
+	xc := make([]float64, 100)
+	yc := make([]float64, 100)
+	assign = RCB(xc, yc, 4)
+	checkAssignment(t, assign, 100, 4)
+	counts := make([]int, 4)
+	for _, pe := range assign {
+		counts[pe]++
+	}
+	for pe, c := range counts {
+		if c != 25 {
+			t.Errorf("identical coords: PE %d got %d nodes, want 25", pe, c)
+		}
+	}
+
+	// Zero-weight subset must not panic or leave PEs out of range.
+	x, y = randomPoints(60, 5)
+	checkAssignment(t, RCBWeighted(x, y, make([]int64, 60), 7), 60, 7)
+
+	// pes=1 and empty input.
+	if got := RCB(nil, nil, 4); len(got) != 0 {
+		t.Errorf("empty input: got %v", got)
+	}
+	for _, pe := range RCB(x, y, 1) {
+		if pe != 0 {
+			t.Fatal("pes=1 must map everything to PE 0")
+		}
+	}
+}
+
+func TestRCBEveryPEPopulated(t *testing.T) {
+	for _, pes := range []int{2, 3, 5, 9, 16} {
+		x, y := randomPoints(500, 33)
+		assign := RCB(x, y, pes)
+		counts := make([]int, pes)
+		for _, pe := range assign {
+			counts[pe]++
+		}
+		for pe, c := range counts {
+			if c == 0 {
+				t.Errorf("pes=%d: PE %d received no nodes", pes, pe)
+			}
+		}
+	}
+}

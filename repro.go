@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/part"
@@ -91,6 +92,52 @@ func Evolve(g *Graph, cfg Config, population, generations int) EvolveResult {
 func Evaluate(g *Graph, k int, eps float64, blocks []int32) (cut int64, balance float64, feasible bool) {
 	p := part.FromBlocks(g, k, eps, blocks)
 	return p.Cut(), p.Imbalance(), p.Feasible()
+}
+
+// Distribution selects the node-to-PE prepartitioning strategy of §3.3 used
+// during parallel coarsening; set it on Config.Distribution or call
+// Distribute directly.
+type Distribution = dist.Strategy
+
+// Distribution strategies.
+const (
+	// DistAuto is the paper's behavior: RCB with coordinates, ranges without.
+	DistAuto = dist.StrategyAuto
+	// DistRanges assigns contiguous node-weight-balanced index ranges.
+	DistRanges = dist.StrategyRanges
+	// DistRCB is recursive coordinate bisection over node coordinates.
+	DistRCB = dist.StrategyRCB
+	// DistSFC orders nodes along a Hilbert curve and cuts weighted ranges.
+	DistSFC = dist.StrategySFC
+)
+
+// ParseDistribution parses a distribution name: auto | ranges | rcb | sfc.
+func ParseDistribution(name string) (Distribution, error) { return dist.ParseStrategy(name) }
+
+// Distribute assigns every node of g to one of pes PEs with the given
+// strategy. Geometric strategies fall back to ranges when g carries no
+// coordinates.
+func Distribute(g *Graph, s Distribution, pes int) []int32 { return dist.Assign(g, s, pes) }
+
+// EdgeLocality returns the fraction of edge weight internal to a node-to-PE
+// assignment (1 = no cross-PE edges); the quantity a good distribution
+// maximizes.
+func EdgeLocality(g *Graph, assign []int32) float64 { return dist.EdgeLocality(g, assign) }
+
+// DistImbalance returns max per-PE node weight over the average (1 = perfect
+// balance).
+func DistImbalance(g *Graph, assign []int32, pes int) float64 {
+	return dist.Imbalance(g, assign, pes)
+}
+
+// Subgraph is one PE's local share of a distributed graph: owned nodes,
+// ghost (halo) layer, and local↔global ID maps.
+type Subgraph = dist.Subgraph
+
+// ExtractSubgraphs materializes every PE's local subgraph (with ghost
+// layers) for a node-to-PE assignment.
+func ExtractSubgraphs(g *Graph, assign []int32, pes int) []*Subgraph {
+	return dist.ExtractAll(g, assign, pes)
 }
 
 // BaselineTool selects one of the comparison partitioners of §6.2.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test check bench
+.PHONY: all vet build test check docs fmt bench
 
 all: check
 
@@ -15,6 +15,14 @@ test:
 
 # check is the tier-1 gate enforced by CI.
 check: vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# docs verifies the documentation layer: formatting, vet, and the runnable
+# godoc examples (README / ARCHITECTURE code snippets are mirrored there).
+docs: fmt vet
+	$(GO) test -run Example ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -28,7 +28,7 @@ func main() {
 	var (
 		table    = flag.String("table", "", "table to regenerate: 1-23 or 'initpart'")
 		figure   = flag.String("figure", "", "figure to regenerate: 3 (time vs k) or 3s (strong scaling vs PEs)")
-		ablation = flag.String("ablation", "", "ablation: pairwise | band | gap | schedule | initrepeats | evolve | dist")
+		ablation = flag.String("ablation", "", "ablation: pairwise | band | gap | schedule | initrepeats | evolve | dist | coarsen")
 		all      = flag.Bool("all", false, "regenerate everything")
 		reps     = flag.Int("reps", 3, "repetitions per configuration (paper: 10)")
 		ks       = flag.String("k", "", "comma-separated block counts (default depends on table)")
@@ -81,6 +81,7 @@ func main() {
 		}
 		bench.AblationPairwiseVsKway(w, o)
 		bench.AblationDistribution(w, o)
+		bench.AblationCoarsenMode(w, o)
 		bench.AblationBandDepth(w, o)
 		bench.AblationGapMatching(w, o)
 		bench.AblationSchedule(w, o)
@@ -138,6 +139,8 @@ func main() {
 		bench.AblationEvolveVsRestarts(w, o)
 	case *ablation == "dist":
 		bench.AblationDistribution(w, o)
+	case *ablation == "coarsen":
+		bench.AblationCoarsenMode(w, o)
 	default:
 		flag.Usage()
 		os.Exit(1)

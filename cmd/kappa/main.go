@@ -34,6 +34,7 @@ func main() {
 		outFile = flag.String("out", "", "write the block of each node, one per line")
 		pes     = flag.Int("pes", 0, "number of simulated PEs for coarsening (default: k)")
 		distFl  = flag.String("dist", "auto", "node-to-PE distribution: auto | ranges | rcb | sfc")
+		coarsFl = flag.String("coarsen", "shared", "coarsening mode: shared | distributed")
 		eval    = flag.String("eval", "", "evaluate (and refine) an existing partition file instead of partitioning from scratch")
 	)
 	flag.Parse()
@@ -65,6 +66,12 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.Distribution = strategy
+	mode, err := core.ParseCoarsenMode(*coarsFl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kappa:", err)
+		os.Exit(1)
+	}
+	cfg.Coarsen = mode
 
 	if *eval != "" {
 		blocks, err := readPartition(*eval, g.NumNodes())
@@ -87,7 +94,7 @@ func main() {
 	res := core.Partition(g, cfg)
 	p := part.FromBlocks(g, *k, *eps, res.Blocks)
 	fmt.Printf("graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
-	fmt.Printf("preset    %s (k=%d, eps=%.2f, dist=%s)\n", variant, *k, *eps, strategy)
+	fmt.Printf("preset    %s (k=%d, eps=%.2f, dist=%s, coarsen=%s)\n", variant, *k, *eps, strategy, mode)
 	fmt.Printf("cut       %d\n", res.Cut)
 	fmt.Printf("balance   %.4f (Lmax %d, feasible %v)\n", res.Balance, p.Lmax(), p.Feasible())
 	fmt.Printf("levels    %d\n", res.Levels)

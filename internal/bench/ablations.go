@@ -93,6 +93,36 @@ func AblationDistribution(w io.Writer, o Options) {
 	}
 }
 
+// AblationCoarsenMode contrasts shared-memory coarsening with PE-local
+// coarsening over extracted subgraphs with ghost exchange (§3) on the
+// coordinate-carrying instances: per mode it reports the edge locality of
+// the node-to-PE distribution the coarsening runs on, then the cut and time
+// the full pipeline reaches. The reproduction target is that the distributed
+// mode — the configuration that would survive graphs too large for one
+// address space — stays within a few percent of the shared-memory cut.
+func AblationCoarsenMode(w io.Writer, o Options) {
+	o = o.defaults()
+	fmt.Fprintf(w, "Ablation: coarsening mode, KaPPa-Fast, k=%v, %d reps\n", o.Ks, o.Reps)
+	fmt.Fprintf(w, "%-14s %-12s %10s %10s %10s\n", "graph", "coarsen", "locality", "avg cut", "t[s]")
+	for _, in := range o.limit(Calibration()) {
+		g := in.Graph()
+		if !g.HasCoords() {
+			continue // keep the comparison on the geometric instances
+		}
+		for _, k := range o.Ks {
+			assign := dist.Assign(g, dist.StrategyAuto, k)
+			locality := dist.EdgeLocality(g, assign)
+			for _, mode := range []core.CoarsenMode{core.CoarsenShared, core.CoarsenDistributed} {
+				cfg := core.NewConfig(core.Fast, k)
+				cfg.Coarsen = mode
+				row := RunKaPPa(g, cfg, o.Reps)
+				fmt.Fprintf(w, "%-14s %-12s %10.3f %10.0f %10.2f\n",
+					in.Name, mode, locality, row.AvgCut, row.AvgTime.Seconds())
+			}
+		}
+	}
+}
+
 // AblationBandDepth sweeps the BFS band depth (Table 2's 1/5/20 values plus
 // an effectively unbounded search).
 func AblationBandDepth(w io.Writer, o Options) {

@@ -2,6 +2,13 @@
 // (§2, §3): contracting the edges of a matching produces the next-coarser
 // graph, and a Hierarchy records the sequence of graphs and node mappings so
 // that partitions can be projected back during uncoarsening.
+//
+// Contract performs the contraction on the shared global graph;
+// ContractDistributed performs it PE-locally — every PE contracts the owned
+// part of its subgraph and the coarse subgraphs are stitched back together
+// through the local↔global id maps and a few ghost-exchange supersteps —
+// producing a coarse graph with exactly the same coarse node groups and edge
+// weights as a shared-memory contraction of the same matching.
 package coarsen
 
 import (

@@ -1,0 +1,257 @@
+package coarsen
+
+import (
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// peContraction is what one PE contributes to the stitched coarse graph: the
+// coarse nodes it owns (weights, coordinates) and its share of the coarse
+// edges, all in coarse *global* ids.
+type peContraction struct {
+	firstCoarse int32   // global id of this PE's first coarse node
+	weights     []int64 // per owned coarse node, in id order
+	cx, cy      []float64
+	edgeU       []int32 // coarse edge contributions (deterministic order)
+	edgeV       []int32
+	edgeW       []int64
+	fineGlobal  []int32 // owned fine nodes (global ids) ...
+	fineCoarse  []int32 // ... and their coarse global ids, parallel
+}
+
+// ContractDistributed contracts a distributed matching PE-locally: every PE
+// contracts the owned part of its subgraph, the PEs agree on a global coarse
+// numbering (prefix sum over per-PE coarse-node counts), exchange the coarse
+// ids of boundary and cross-matched nodes through ex, and the coarse
+// subgraphs are stitched back into one global coarse graph through the
+// local↔global id maps — so the existing Hierarchy/uncoarsening machinery
+// keeps working unchanged on the result.
+//
+// The coarse node of a pair matched across a cut is owned by the PE owning
+// the endpoint with the smaller global id; each cut edge is contributed to
+// the stitched graph by exactly one side (again the smaller-global-id
+// endpoint's owner), so coarse edge weights come out identical to a
+// shared-memory contraction of the same matching. Returns the coarse graph
+// and the fine→coarse node map of the global graph.
+func ContractDistributed(g *graph.Graph, sgs []*dist.Subgraph, ms []matching.Matching, ex *dist.Exchanger) (*graph.Graph, []int32) {
+	pes := len(sgs)
+	parts := make([]*peContraction, pes)
+	var wg sync.WaitGroup
+	for pe := 0; pe < pes; pe++ {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			parts[pe] = contractSubgraph(sgs[pe], ms[pe], ex, pe)
+		}(pe)
+	}
+	wg.Wait()
+
+	// Stitch sequentially in PE order; every per-PE list is deterministic,
+	// so the assembled coarse graph is too.
+	total := 0
+	for _, p := range parts {
+		total += len(p.weights)
+	}
+	b := graph.NewBuilder(total)
+	for _, p := range parts {
+		for i, w := range p.weights {
+			b.SetNodeWeight(p.firstCoarse+int32(i), w)
+		}
+		if g.HasCoords() {
+			for i := range p.weights {
+				b.SetCoord(p.firstCoarse+int32(i), p.cx[i], p.cy[i])
+			}
+		}
+		for i := range p.edgeU {
+			b.AddEdge(p.edgeU[i], p.edgeV[i], p.edgeW[i])
+		}
+	}
+	fine2coarse := make([]int32, g.NumNodes())
+	for _, p := range parts {
+		for i, gv := range p.fineGlobal {
+			fine2coarse[gv] = p.fineCoarse[i]
+		}
+	}
+	return b.Build(), fine2coarse
+}
+
+// contractSubgraph is the per-PE worker of ContractDistributed.
+func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex *dist.Exchanger, pe int) *peContraction {
+	g := sg.Local
+	owned := sg.NumOwned
+	p := &peContraction{}
+
+	// Step 1: decide, for every owned node, which coarse node it joins and
+	// who owns that coarse node. Owned nodes are stored in ascending global
+	// id order, so "smaller local id" and "smaller global id" agree for
+	// owned–owned pairs.
+	const remote = int32(-2) // coarse id owned by the partner's PE, arrives in step 3
+	cLocal := make([]int32, owned)
+	nOwn := int32(0)
+	for lv := int32(0); lv < int32(owned); lv++ {
+		lu := m[lv]
+		switch {
+		case lu < 0: // unmatched: singleton coarse node
+			cLocal[lv] = nOwn
+			nOwn++
+		case int(lu) < owned: // matched inside the PE
+			if lu > lv {
+				cLocal[lv] = nOwn
+				nOwn++
+			} else {
+				cLocal[lv] = cLocal[lu]
+			}
+		default: // matched across a cut: smaller global id owns the pair
+			if sg.ToGlobal(lv) < sg.ToGlobal(lu) {
+				cLocal[lv] = nOwn
+				nOwn++
+			} else {
+				cLocal[lv] = remote
+			}
+		}
+	}
+
+	// Step 2: prefix-sum the per-PE coarse-node counts for the global
+	// numbering.
+	countOut := make([][]dist.Msg, ex.PEs())
+	for q := range countOut {
+		countOut[q] = []dist.Msg{{Kind: dist.MsgCount, W: int64(nOwn)}}
+	}
+	base := int32(0)
+	for i, msg := range ex.Exchange(pe, countOut) {
+		if i < pe {
+			base += int32(msg.W)
+		}
+	}
+	p.firstCoarse = base
+
+	// Owned coarse node weights and coordinates: the pair partner — even a
+	// ghost one — has its weight and coordinates copied into the subgraph,
+	// so both are computable locally.
+	p.weights = make([]int64, nOwn)
+	hasCoords := g.HasCoords()
+	if hasCoords {
+		p.cx = make([]float64, nOwn)
+		p.cy = make([]float64, nOwn)
+	}
+	members := make([]int32, nOwn) // member count per owned coarse node
+	for lv := int32(0); lv < int32(owned); lv++ {
+		c := cLocal[lv]
+		if c == remote {
+			continue
+		}
+		addMember(p, g, c, lv, members, hasCoords)
+		// A cut pair's ghost member is visible only to the owning side.
+		if lu := m[lv]; lu >= 0 && int(lu) >= owned {
+			addMember(p, g, c, lu, members, hasCoords)
+		}
+	}
+	for c := int32(0); c < nOwn; c++ {
+		if hasCoords && members[c] > 0 {
+			p.cx[c] /= float64(members[c])
+			p.cy[c] /= float64(members[c])
+		}
+	}
+
+	// Step 3: send the coarse global id of every cut-matched pair to the
+	// partner's owner, so the non-owning side learns where its node went.
+	crossOut := make([][]dist.Msg, ex.PEs())
+	for lv := int32(0); lv < int32(owned); lv++ {
+		lu := m[lv]
+		if lu >= 0 && int(lu) >= owned && cLocal[lv] != remote {
+			q := sg.GhostOwner[int(lu)-owned]
+			crossOut[q] = append(crossOut[q], dist.Msg{
+				Kind: dist.MsgCoarseID, A: sg.ToGlobal(lu), B: base + cLocal[lv],
+			})
+		}
+	}
+	cGlobal := make([]int32, owned)
+	for lv := range cGlobal {
+		if cLocal[lv] == remote {
+			cGlobal[lv] = -1
+		} else {
+			cGlobal[lv] = base + cLocal[lv]
+		}
+	}
+	for _, msg := range ex.Exchange(pe, crossOut) {
+		if msg.Kind != dist.MsgCoarseID {
+			continue
+		}
+		if lv, ok := sg.ToLocal(msg.A); ok && int(lv) < owned {
+			cGlobal[lv] = msg.B
+		}
+	}
+
+	// Step 4: publish the coarse id of every boundary node to the PEs that
+	// hold it as a ghost, and collect the same for this PE's ghosts.
+	bcastOut := make([][]dist.Msg, ex.PEs())
+	for lv, peers := range sg.BoundaryPeers() {
+		for _, q := range peers {
+			bcastOut[q] = append(bcastOut[q], dist.Msg{
+				Kind: dist.MsgCoarseID, A: sg.ToGlobal(int32(lv)), B: cGlobal[lv],
+			})
+		}
+	}
+	ghostCoarse := make([]int32, sg.NumGhosts())
+	for i := range ghostCoarse {
+		ghostCoarse[i] = -1
+	}
+	for _, msg := range ex.Exchange(pe, bcastOut) {
+		if msg.Kind != dist.MsgCoarseID {
+			continue
+		}
+		if lu, ok := sg.ToLocal(msg.A); ok && int(lu) >= owned {
+			ghostCoarse[int(lu)-owned] = msg.B
+		}
+	}
+
+	// Step 5: coarse edge contributions. Each fine edge is contributed once,
+	// by the owner of its smaller-global-id endpoint; edges internal to a
+	// coarse node vanish.
+	for lv := int32(0); lv < int32(owned); lv++ {
+		gv := sg.ToGlobal(lv)
+		adj, ws := g.Adj(lv), g.AdjWeights(lv)
+		for i, lu := range adj {
+			var cu int32
+			if int(lu) < owned {
+				if lu < lv {
+					continue
+				}
+				cu = cGlobal[lu]
+			} else {
+				if sg.ToGlobal(lu) < gv {
+					continue
+				}
+				cu = ghostCoarse[int(lu)-owned]
+			}
+			if cu == cGlobal[lv] || cu < 0 {
+				continue
+			}
+			p.edgeU = append(p.edgeU, cGlobal[lv])
+			p.edgeV = append(p.edgeV, cu)
+			p.edgeW = append(p.edgeW, ws[i])
+		}
+	}
+
+	p.fineGlobal = make([]int32, owned)
+	p.fineCoarse = make([]int32, owned)
+	for lv := int32(0); lv < int32(owned); lv++ {
+		p.fineGlobal[lv] = sg.ToGlobal(lv)
+		p.fineCoarse[lv] = cGlobal[lv]
+	}
+	return p
+}
+
+// addMember folds fine node lv into owned coarse node c.
+func addMember(p *peContraction, g *graph.Graph, c, lv int32, members []int32, hasCoords bool) {
+	p.weights[c] += g.NodeWeight(lv)
+	if hasCoords {
+		x, y := g.Coord(lv)
+		p.cx[c] += x
+		p.cy[c] += y
+	}
+	members[c]++
+}

@@ -3,10 +3,18 @@
 // coarsening with gap-graph matching (§3.3), initial partitioning with
 // seeded repeats (§4), and parallel pairwise refinement scheduled by an edge
 // coloring of the quotient graph (§5).
+//
+// The contraction phase runs in one of two modes (Config.Coarsen): shared —
+// matching reads the global graph — or distributed, where every PE matches
+// and contracts its own extracted subgraph and exchanges ghost-node state
+// over per-PE mailboxes, the configuration that generalizes to graphs too
+// large for one address space. Both modes are deterministic for a fixed
+// seed.
 package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/dist"
 	"repro/internal/initpart"
@@ -26,6 +34,47 @@ const (
 	// quotient graph (the alternative strategy, kept for the ablation).
 	ScheduleRandomPairs
 )
+
+// CoarsenMode selects how the contraction phase executes.
+type CoarsenMode int
+
+const (
+	// CoarsenShared matches and contracts on the shared global graph; the
+	// PEs are goroutines over one address space (the historical behavior).
+	CoarsenShared CoarsenMode = iota
+	// CoarsenDistributed runs the contraction phase the way the paper's
+	// distributed system does (§3): each PE matches and contracts its own
+	// extracted subgraph and exchanges ghost-node state over per-PE
+	// mailboxes; the coarse subgraphs are stitched back into the next-level
+	// global graph. Identical machinery downstream, but no step reads the
+	// whole graph from one PE's perspective — the template for graphs that
+	// no longer fit one address space.
+	CoarsenDistributed
+)
+
+// String returns the flag-level name of the mode.
+func (m CoarsenMode) String() string {
+	switch m {
+	case CoarsenShared:
+		return "shared"
+	case CoarsenDistributed:
+		return "distributed"
+	default:
+		return fmt.Sprintf("core.CoarsenMode(%d)", int(m))
+	}
+}
+
+// ParseCoarsenMode parses a flag-level coarsening mode, case-insensitively.
+func ParseCoarsenMode(name string) (CoarsenMode, error) {
+	switch strings.ToLower(name) {
+	case "shared", "":
+		return CoarsenShared, nil
+	case "distributed", "dist":
+		return CoarsenDistributed, nil
+	default:
+		return CoarsenShared, fmt.Errorf("core: unknown coarsen mode %q (want shared|distributed)", name)
+	}
+}
 
 // Config carries every tuning parameter of Table 2.
 type Config struct {
@@ -57,6 +106,10 @@ type Config struct {
 	// is the paper's behavior: RCB when the graph carries coordinates,
 	// contiguous index ranges otherwise.
 	Distribution dist.Strategy
+
+	// Coarsen selects shared-memory or PE-local (distributed) coarsening.
+	// The zero value is CoarsenShared. With one PE the modes coincide.
+	Coarsen CoarsenMode
 
 	// PEs is the number of simulated processing elements used during
 	// coarsening. The paper identifies PEs with blocks; 0 means K.

@@ -96,24 +96,16 @@ func buildHierarchy(g *graph.Graph, cfg *Config) *coarsen.Hierarchy {
 	}
 	for level := 0; h.Coarsest.NumNodes() > threshold; level++ {
 		cur := h.Coarsest
-		rt := rating.NewRater(cfg.Rating, cur)
-		var m matching.Matching
-		if pes > 1 {
-			// Prepartition nodes onto PEs (§3.3) for matching locality; the
-			// strategy does not influence the final partition directly.
-			blocks := dist.Assign(cur, cfg.Distribution, pes)
-			if cfg.GapMatching {
-				m = matching.ParallelBounded(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
-			} else {
-				m = parallelNoGap(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
-			}
+		var cg *graph.Graph
+		var f2c []int32
+		if pes > 1 && cfg.Coarsen == CoarsenDistributed {
+			cg, f2c = distributedLevel(cur, cfg, pes, level, maxPair)
 		} else {
-			m = matching.ComputeBounded(cur, rt, cfg.Matcher, rng.NewStream(cfg.Seed, uint64(level)), maxPair)
+			cg, f2c = sharedLevel(cur, cfg, pes, level, maxPair)
 		}
-		if m.Size() == 0 {
-			break
+		if cg == nil {
+			break // empty matching: the graph cannot shrink further
 		}
-		cg, f2c := coarsen.Contract(cur, m)
 		// Insist on geometric shrinking; otherwise initial partitioning can
 		// handle the rest.
 		if cg.NumNodes() > cur.NumNodes()*49/50 {
@@ -122,6 +114,55 @@ func buildHierarchy(g *graph.Graph, cfg *Config) *coarsen.Hierarchy {
 		h.Push(cg, f2c)
 	}
 	return h
+}
+
+// sharedLevel performs one contraction level on the shared global graph:
+// parallel (or, with one PE, sequential) matching followed by a global
+// contraction. Returns (nil, nil) when the matching comes out empty.
+func sharedLevel(cur *graph.Graph, cfg *Config, pes, level int, maxPair int64) (*graph.Graph, []int32) {
+	rt := rating.NewRater(cfg.Rating, cur)
+	var m matching.Matching
+	if pes > 1 {
+		// Prepartition nodes onto PEs (§3.3) for matching locality; the
+		// strategy does not influence the final partition directly.
+		blocks := dist.Assign(cur, cfg.Distribution, pes)
+		if cfg.GapMatching {
+			m = matching.ParallelBounded(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
+		} else {
+			m = parallelNoGap(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
+		}
+	} else {
+		m = matching.ComputeBounded(cur, rt, cfg.Matcher, rng.NewStream(cfg.Seed, uint64(level)), maxPair)
+	}
+	if m.Size() == 0 {
+		return nil, nil
+	}
+	return coarsen.Contract(cur, m)
+}
+
+// distributedLevel performs one contraction level PE-locally (§3): extract
+// per-PE subgraphs with ghost layers, match each subgraph's internal edges
+// sequentially, resolve the boundary by mutual proposals over the per-PE
+// mailboxes of a dist.Exchanger, contract every subgraph locally, and stitch
+// the coarse subgraphs back into the next-level global graph. Returns
+// (nil, nil) when the matching comes out empty.
+func distributedLevel(cur *graph.Graph, cfg *Config, pes, level int, maxPair int64) (*graph.Graph, []int32) {
+	blocks := dist.Assign(cur, cfg.Distribution, pes)
+	sgs := dist.ExtractAll(cur, blocks, pes)
+	ex := dist.NewExchanger(pes)
+	ms := matching.DistributedBounded(sgs, ex, cfg.Rating, cfg.Matcher,
+		cfg.Seed+uint64(level)*101, maxPair, cfg.GapMatching)
+	matched := false
+	for _, m := range ms {
+		if m.Size() > 0 {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return nil, nil
+	}
+	return coarsen.ContractDistributed(cur, sgs, ms, ex)
 }
 
 // parallelNoGap is the ablation variant of parallel matching: local

@@ -23,8 +23,11 @@
 //
 // Strategy and Assign select between them; EdgeLocality and Imbalance make
 // the strategies comparable; Extract materializes each PE's local subgraph
-// plus its ghost (halo) layer with local↔global ID maps — the building block
-// for genuinely distributed coarsening.
+// plus its ghost (halo) layer with local↔global ID maps; and Exchanger is
+// the channel-backed bulk-synchronous message layer (one mailbox per PE)
+// over which the PEs trade ghost-node state during distributed coarsening —
+// together the building blocks of the PE-local contraction phase in
+// internal/matching and internal/coarsen.
 package dist
 
 import (

@@ -40,6 +40,40 @@ func (s *Subgraph) ToLocal(global int32) (local int32, ok bool) {
 	return local, ok
 }
 
+// BoundaryPeers returns, for every owned node, the distinct owner PEs of
+// its ghost neighbors in ascending order (nil for interior nodes) — the PEs
+// that hold the node as a ghost and therefore must receive its state during
+// ghost exchange.
+func (s *Subgraph) BoundaryPeers() [][]int32 {
+	peers := make([][]int32, s.NumOwned)
+	for lv := int32(0); lv < int32(s.NumOwned); lv++ {
+		for _, lu := range s.Local.Adj(lv) {
+			if int(lu) < s.NumOwned {
+				continue
+			}
+			q := s.GhostOwner[int(lu)-s.NumOwned]
+			found := false
+			for _, p := range peers[lv] {
+				if p == q {
+					found = true
+					break
+				}
+			}
+			if !found {
+				peers[lv] = append(peers[lv], q)
+			}
+		}
+		// Insertion sort: peer lists are a handful of PEs long.
+		p := peers[lv]
+		for i := 1; i < len(p); i++ {
+			for j := i; j > 0 && p[j] < p[j-1]; j-- {
+				p[j], p[j-1] = p[j-1], p[j]
+			}
+		}
+	}
+	return peers
+}
+
 // Extract builds PE pe's local subgraph from the global graph and a
 // node-to-PE assignment. All edges incident to an owned node are kept —
 // owned–owned edges once, owned–ghost edges once — so cut edges appear in

@@ -1,0 +1,224 @@
+package matching
+
+import (
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/rating"
+	"repro/internal/rng"
+)
+
+// Distributed computes a matching of a distributed graph the way §3 of the
+// paper prescribes: every PE runs the sequential algorithm on the internal
+// (owned–owned) edges of its own subgraph, then the PEs resolve the boundary
+// in iterated two-phase rounds over the Exchanger — each PE publishes the
+// matching state of its boundary nodes to the PEs holding them as ghosts,
+// proposes its best eligible cut edges across the cut, and accepts exactly
+// the proposals that were mutual, with the deterministic tie-break on global
+// id making both sides reach the same verdict independently.
+//
+// The result is one Matching per PE in *local* ids over sgs[pe].Local: an
+// owned node matched across a cut points at the ghost local id of its
+// partner (and the partner's PE records the mirrored pair). Use
+// GlobalFromSubgraphs to merge the per-PE matchings into a matching of the
+// global graph.
+//
+// Every randomized choice draws from an rng stream derived from (seed, PE)
+// and every cross-PE message sequence is schedule-independent, so the result
+// is byte-identical across runs — and across GOMAXPROCS settings — for a
+// fixed seed.
+func Distributed(sgs []*dist.Subgraph, ex *dist.Exchanger, rf rating.Func, alg Algorithm, seed uint64) []Matching {
+	return DistributedBounded(sgs, ex, rf, alg, seed, 0, true)
+}
+
+// DistributedBounded is Distributed with a maximum combined node weight per
+// matched pair (0 = unbounded) and an optional boundary phase: with boundary
+// false the PEs match only their internal edges (the distributed counterpart
+// of the no-gap-matching ablation) but still participate in the termination
+// votes so the superstep counts stay aligned.
+func DistributedBounded(sgs []*dist.Subgraph, ex *dist.Exchanger, rf rating.Func, alg Algorithm, seed uint64, maxPair int64, boundary bool) []Matching {
+	pes := len(sgs)
+	out := make([]Matching, pes)
+	var wg sync.WaitGroup
+	for pe := 0; pe < pes; pe++ {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			out[pe] = matchSubgraph(sgs[pe], ex, rf, alg, seed, maxPair, boundary, pe)
+		}(pe)
+	}
+	wg.Wait()
+	return out
+}
+
+// matchSubgraph is the per-PE worker of DistributedBounded.
+func matchSubgraph(sg *dist.Subgraph, ex *dist.Exchanger, rf rating.Func, alg Algorithm, seed uint64, maxPair int64, boundary bool, pe int) Matching {
+	g := sg.Local
+	n := g.NumNodes()
+	owned := sg.NumOwned
+	m := NewEmpty(n)
+	r := rng.NewStream(seed, uint64(pe))
+	rt := rating.NewRater(rf, g)
+
+	// Phase 1: sequential matching on the internal (owned–owned) edges.
+	switch alg {
+	case SHEM:
+		nodes := make([]int32, owned)
+		inSet := make([]bool, n)
+		for i := range nodes {
+			nodes[i] = int32(i)
+			inSet[i] = true
+		}
+		shemInto(g, rt, r, nodes, inSet, m, maxPair)
+	default:
+		var edges []Edge
+		for lv := int32(0); lv < int32(owned); lv++ {
+			adj, ws := g.Adj(lv), g.AdjWeights(lv)
+			for i, lu := range adj {
+				if lu > lv && int(lu) < owned {
+					edges = append(edges, Edge{lv, lu, ws[i], rt.Rate(lv, lu, ws[i]), uint32(r.Uint64())})
+				}
+			}
+		}
+		if alg == Greedy {
+			greedyEdges(g, edges, m, maxPair)
+		} else {
+			gpaEdges(g, edges, m, maxPair)
+		}
+	}
+
+	// Boundary bookkeeping: peersOf[lv] lists the owner PEs holding owned
+	// node lv as a ghost, in deterministic (ascending) send order.
+	peersOf := sg.BoundaryPeers()
+	var bnodes []int32
+	for lv := int32(0); lv < int32(owned); lv++ {
+		if len(peersOf[lv]) > 0 {
+			bnodes = append(bnodes, lv)
+		}
+	}
+
+	localRating := func(lv int32) float64 {
+		if u := m[lv]; u >= 0 {
+			return rt.Rate(lv, u, g.EdgeWeightTo(lv, u))
+		}
+		return 0
+	}
+
+	crossMatched := make([]bool, n)
+	ghostRating := make([]float64, sg.NumGhosts())
+	ghostFinal := make([]bool, sg.NumGhosts())
+	prop := make([]int32, owned) // this round's proposal target (ghost local id), -1 = none
+
+	// Phase 2: iterated boundary rounds. Every PE executes the same superstep
+	// sequence per round (state exchange, proposal exchange, termination
+	// vote) even when it owns no boundary nodes, so the Exchanger stays in
+	// lockstep across PEs — including PEs with empty subgraphs.
+	for round := 0; ; round++ {
+		// 2a: publish boundary state to the PEs holding each node as ghost.
+		stateOut := make([][]dist.Msg, ex.PEs())
+		for _, lv := range bnodes {
+			msg := dist.Msg{Kind: dist.MsgGhostState, A: sg.ToGlobal(lv), R: localRating(lv)}
+			if crossMatched[lv] {
+				msg.W = 1
+			}
+			for _, q := range peersOf[lv] {
+				stateOut[q] = append(stateOut[q], msg)
+			}
+		}
+		for _, msg := range ex.Exchange(pe, stateOut) {
+			if lu, ok := sg.ToLocal(msg.A); ok && int(lu) >= owned {
+				ghostRating[int(lu)-owned] = msg.R
+				ghostFinal[int(lu)-owned] = msg.W != 0
+			}
+		}
+
+		// 2b: propose the best eligible cut edge of every boundary node. An
+		// edge is eligible when its rating beats the local matches of *both*
+		// endpoints (each side checks with the state just published), exactly
+		// the gap-graph condition of the shared-memory scheme.
+		propOut := make([][]dist.Msg, ex.PEs())
+		for i := range prop {
+			prop[i] = -1
+		}
+		if boundary {
+			for _, lv := range bnodes {
+				if crossMatched[lv] {
+					continue
+				}
+				mine := localRating(lv)
+				adj, ws := g.Adj(lv), g.AdjWeights(lv)
+				best, bestR := int32(-1), 0.0
+				for i, lu := range adj {
+					gi := int(lu) - owned
+					if gi < 0 || ghostFinal[gi] {
+						continue
+					}
+					if maxPair > 0 && g.NodeWeight(lv)+g.NodeWeight(lu) > maxPair {
+						continue
+					}
+					rr := rt.Rate(lv, lu, ws[i])
+					if rr <= mine || rr <= ghostRating[gi] {
+						continue
+					}
+					// Deterministic preference: higher rating, then smaller
+					// global id of the ghost endpoint.
+					if best < 0 || rr > bestR || (rr == bestR && sg.ToGlobal(lu) < sg.ToGlobal(best)) {
+						best, bestR = lu, rr
+					}
+				}
+				if best >= 0 {
+					prop[lv] = best
+					q := sg.GhostOwner[int(best)-owned]
+					propOut[q] = append(propOut[q], dist.Msg{
+						Kind: dist.MsgProposal, A: sg.ToGlobal(lv), B: sg.ToGlobal(best), R: bestR,
+					})
+				}
+			}
+		}
+
+		// 2c: accept exactly the mutual proposals. Both endpoint owners see
+		// the pair (each receives the other's proposal and knows its own), so
+		// they reach the same verdict without a confirmation round.
+		progress := false
+		for _, msg := range ex.Exchange(pe, propOut) {
+			if msg.Kind != dist.MsgProposal {
+				continue
+			}
+			lb, ok := sg.ToLocal(msg.B)
+			if !ok || int(lb) >= owned {
+				continue
+			}
+			la, ok := sg.ToLocal(msg.A)
+			if !ok || prop[lb] != la {
+				continue
+			}
+			// Mutual: dissolve the (lighter) local match, adopt the cut edge.
+			if old := m[lb]; old >= 0 {
+				m[old] = -1
+			}
+			m[lb], m[la] = la, lb
+			crossMatched[lb] = true
+			progress = true
+		}
+
+		if !ex.AllReduceOr(pe, progress) {
+			break
+		}
+	}
+	return m
+}
+
+// GlobalFromSubgraphs merges per-PE local matchings into one matching of the
+// n-node global graph. Cross-PE pairs are recorded by both owners with the
+// same global ids, so the merge is conflict-free.
+func GlobalFromSubgraphs(n int, sgs []*dist.Subgraph, ms []Matching) Matching {
+	gm := NewEmpty(n)
+	for pe, sg := range sgs {
+		for lv := int32(0); lv < int32(sg.NumOwned); lv++ {
+			if lu := ms[pe][lv]; lu >= 0 {
+				gm[sg.ToGlobal(lv)] = sg.ToGlobal(lu)
+			}
+		}
+	}
+	return gm
+}

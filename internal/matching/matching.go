@@ -1,8 +1,13 @@
 // Package matching implements the approximate maximum-weight matching
 // algorithms of §3.2–3.3 of the paper: Sorted Heavy Edge Matching (SHEM, the
 // Metis algorithm), the sorting-based Greedy half-approximation, the Global
-// Path Algorithm (GPA), and the parallel scheme that combines per-block
-// sequential matching with locally-heaviest matching on the gap graph.
+// Path Algorithm (GPA), and two parallel schemes built on them. Parallel
+// combines per-block sequential matching with locally-heaviest matching on
+// the gap graph, reading the shared global graph; Distributed runs the same
+// idea PE-locally — each PE matches the internal edges of its extracted
+// subgraph (dist.Subgraph) and the boundary is resolved by mutual proposals
+// exchanged over per-PE mailboxes (dist.Exchanger), the way the paper's
+// message-passing system works.
 //
 // All algorithms maximize the *rating* of the matching (see internal/rating)
 // rather than the raw edge weight; with the Weight rating they degenerate to

@@ -114,6 +114,23 @@ const (
 // ParseDistribution parses a distribution name: auto | ranges | rcb | sfc.
 func ParseDistribution(name string) (Distribution, error) { return dist.ParseStrategy(name) }
 
+// CoarsenMode selects how the contraction phase executes; set it on
+// Config.Coarsen.
+type CoarsenMode = core.CoarsenMode
+
+// Coarsening modes.
+const (
+	// CoarsenShared matches and contracts on the shared global graph.
+	CoarsenShared = core.CoarsenShared
+	// CoarsenDistributed runs PE-local matching and contraction over
+	// extracted subgraphs with ghost exchange (§3 of the paper) — the
+	// configuration that generalizes to graphs exceeding one address space.
+	CoarsenDistributed = core.CoarsenDistributed
+)
+
+// ParseCoarsenMode parses a coarsening mode name: shared | distributed.
+func ParseCoarsenMode(name string) (CoarsenMode, error) { return core.ParseCoarsenMode(name) }
+
 // Distribute assigns every node of g to one of pes PEs with the given
 // strategy. Geometric strategies fall back to ranges when g carries no
 // coordinates.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test check docs fmt bench
+.PHONY: all vet build test check docs fmt bench examples race
 
 all: check
 
@@ -26,3 +26,13 @@ docs: fmt vet
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# examples builds and runs every examples/* program end to end (CI runs
+# this too, so the example code can never rot).
+examples:
+	@set -e; for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d"; done
+
+# race runs the race detector over the concurrency-heavy packages plus the
+# pipeline contract tests (context cancellation, transport swap).
+race:
+	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist .

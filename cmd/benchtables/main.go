@@ -6,6 +6,7 @@
 //	benchtables -table 9 -k 16      # KaPPa-Fast per-instance (Table 9)
 //	benchtables -figure 3           # scalability curves
 //	benchtables -table 21           # Walshaw benchmark, eps=1%
+//	benchtables -table phases       # per-phase timing breakdown (Trace events)
 //	benchtables -ablation band      # band-depth ablation
 //	benchtables -all -reps 3        # everything the paper reports
 //
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "", "table to regenerate: 1-23 or 'initpart'")
+		table    = flag.String("table", "", "table to regenerate: 1-23, 'initpart' or 'phases' (per-phase timing breakdown from pipeline Trace events)")
 		figure   = flag.String("figure", "", "figure to regenerate: 3 (time vs k) or 3s (strong scaling vs PEs)")
 		ablation = flag.String("ablation", "", "ablation: pairwise | band | gap | schedule | initrepeats | evolve | dist | coarsen")
 		all      = flag.Bool("all", false, "regenerate everything")
@@ -75,6 +76,8 @@ func main() {
 		fmt.Fprintln(w)
 		bench.Figure3Scaling(w, o)
 		fmt.Fprintln(w)
+		bench.PhaseBreakdown(w, o)
+		fmt.Fprintln(w)
 		for _, eps := range []float64{0.01, 0.03, 0.05} {
 			bench.TableWalshaw(w, eps, o)
 			fmt.Fprintln(w)
@@ -103,6 +106,8 @@ func main() {
 		bench.Table3(w, o)
 	case *table == "initpart":
 		bench.TableInitPart(w, o)
+	case *table == "phases":
+		bench.PhaseBreakdown(w, o)
 	case *table == "4":
 		bench.Table4Left(w, o)
 		fmt.Fprintln(w)

@@ -6,10 +6,17 @@
 //	kappa -in mesh.graph -k 16 -preset strong -out mesh.part
 //	kappa -gen rgg:15 -k 64 -preset fast
 //	kappa -gen road:40000 -k 8 -eps 0.05 -seed 7
+//	kappa -gen grid3d:32x32x8 -k 8 -progress -timeout 30s
+//
+// Configuration errors (bad preset, bad flag values, invalid parameter
+// combinations) exit 2; runtime errors (missing files, exceeded -timeout)
+// exit 1.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,26 +30,37 @@ import (
 	"repro/internal/part"
 )
 
+// fail prints the message and exits: usage and configuration errors exit 2
+// (the Unix convention flag.Parse also follows), runtime errors exit 1.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kappa:", err)
+	if errors.Is(err, core.ErrInvalidConfig) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		inFile  = flag.String("in", "", "input graph in METIS format")
-		genSpec = flag.String("gen", "", "generator spec: rgg:S | delaunay:S | grid:WxH | grid3d:XxYxZ | road:N | social:N | rmat:S | fem:N | banded:N")
-		k       = flag.Int("k", 2, "number of blocks")
-		preset  = flag.String("preset", "fast", "minimal | fast | strong")
-		eps     = flag.Float64("eps", 0.03, "allowed imbalance")
-		seed    = flag.Uint64("seed", 0, "random seed")
-		outFile = flag.String("out", "", "write the block of each node, one per line")
-		pes     = flag.Int("pes", 0, "number of simulated PEs for coarsening (default: k)")
-		distFl  = flag.String("dist", "auto", "node-to-PE distribution: auto | ranges | rcb | sfc")
-		coarsFl = flag.String("coarsen", "shared", "coarsening mode: shared | distributed")
-		eval    = flag.String("eval", "", "evaluate (and refine) an existing partition file instead of partitioning from scratch")
+		inFile   = flag.String("in", "", "input graph in METIS format")
+		genSpec  = flag.String("gen", "", "generator spec: rgg:S | delaunay:S | grid:WxH | grid3d:XxYxZ | road:N | social:N | rmat:S | fem:N | banded:N")
+		k        = flag.Int("k", 2, "number of blocks")
+		preset   = flag.String("preset", "fast", "minimal | fast | strong")
+		eps      = flag.Float64("eps", 0.03, "allowed imbalance")
+		seed     = flag.Uint64("seed", 0, "random seed")
+		outFile  = flag.String("out", "", "write the block of each node, one per line")
+		pes      = flag.Int("pes", 0, "number of simulated PEs for coarsening (default: k)")
+		distFl   = flag.String("dist", "auto", "node-to-PE distribution: auto | ranges | rcb | sfc")
+		coarsFl  = flag.String("coarsen", "shared", "coarsening mode: shared | distributed")
+		eval     = flag.String("eval", "", "evaluate (and refine) an existing partition file instead of partitioning from scratch")
+		progress = flag.Bool("progress", false, "print pipeline trace events (levels, init cut, refinement gains, phase times) to stderr")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s); 0 = no limit")
 	)
 	flag.Parse()
 
 	g, err := loadGraph(*inFile, *genSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kappa:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	var variant core.Variant
 	switch strings.ToLower(*preset) {
@@ -53,8 +71,7 @@ func main() {
 	case "strong":
 		variant = core.Strong
 	default:
-		fmt.Fprintf(os.Stderr, "kappa: unknown preset %q\n", *preset)
-		os.Exit(1)
+		fail(fmt.Errorf("%w: unknown preset %q", core.ErrInvalidConfig, *preset))
 	}
 	cfg := core.NewConfig(variant, *k)
 	cfg.Eps = *eps
@@ -62,28 +79,40 @@ func main() {
 	cfg.PEs = *pes
 	strategy, err := dist.ParseStrategy(*distFl)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kappa:", err)
-		os.Exit(1)
+		fail(fmt.Errorf("%w: %v", core.ErrInvalidConfig, err))
 	}
 	cfg.Distribution = strategy
 	mode, err := core.ParseCoarsenMode(*coarsFl)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kappa:", err)
-		os.Exit(1)
+		fail(fmt.Errorf("%w: %v", core.ErrInvalidConfig, err))
 	}
 	cfg.Coarsen = mode
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var opts []core.Option
+	if *progress {
+		opts = append(opts, core.WithObserver(core.ObserverFunc(func(ev core.TraceEvent) {
+			fmt.Fprintln(os.Stderr, "kappa:", ev)
+		})))
+	}
 
 	if *eval != "" {
 		blocks, err := readPartition(*eval, g.NumNodes())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kappa:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		cut, bal, feasible := evalBlocks(g, *k, *eps, blocks)
 		fmt.Printf("input partition: cut=%d balance=%.4f feasible=%v\n", cut, bal, feasible)
-		refined, rcut := core.RefineExisting(g, cfg, blocks)
-		rcutCheck, rbal, rfeasible := evalBlocks(g, *k, *eps, refined)
-		_ = rcutCheck
+		refined, rcut, err := core.RefineExistingCtx(ctx, g, cfg, blocks, opts...)
+		if err != nil {
+			fail(err)
+		}
+		_, rbal, rfeasible := evalBlocks(g, *k, *eps, refined)
 		fmt.Printf("after refining:  cut=%d balance=%.4f feasible=%v\n", rcut, rbal, rfeasible)
 		if *outFile != "" {
 			writePartition(*outFile, refined)
@@ -91,7 +120,13 @@ func main() {
 		return
 	}
 
-	res := core.Partition(g, cfg)
+	res, err := core.Run(ctx, g, cfg, opts...)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fail(fmt.Errorf("run exceeded -timeout %v: %v", *timeout, err))
+		}
+		fail(err)
+	}
 	p := part.FromBlocks(g, *k, *eps, res.Blocks)
 	fmt.Printf("graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
 	fmt.Printf("preset    %s (k=%d, eps=%.2f, dist=%s, coarsen=%s)\n", variant, *k, *eps, strategy, mode)
@@ -155,6 +190,9 @@ func writePartition(path string, blocks []int32) {
 	f.Close()
 }
 
+// loadGraph resolves the input: usage errors (bad generator spec, neither
+// -in nor -gen) wrap ErrInvalidConfig so they exit 2; I/O errors (missing
+// or unreadable file) stay runtime errors and exit 1.
 func loadGraph(inFile, genSpec string) (*graph.Graph, error) {
 	switch {
 	case inFile != "":
@@ -165,9 +203,13 @@ func loadGraph(inFile, genSpec string) (*graph.Graph, error) {
 		defer f.Close()
 		return graph.ReadMetis(f)
 	case genSpec != "":
-		return generate(genSpec)
+		g, err := generate(genSpec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrInvalidConfig, err)
+		}
+		return g, nil
 	default:
-		return nil, fmt.Errorf("need -in or -gen")
+		return nil, fmt.Errorf("%w: need -in or -gen", core.ErrInvalidConfig)
 	}
 }
 

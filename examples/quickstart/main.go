@@ -1,9 +1,13 @@
 // Quickstart: build a graph, partition it with KaPPa-Fast, inspect the
-// result. This is the smallest end-to-end use of the public API.
+// result. This is the smallest end-to-end use of the public API: repro.Run
+// with a context, an error check, and an optional progress observer.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"time"
 
 	"repro"
 )
@@ -23,7 +27,15 @@ func main() {
 	b.AddEdge(3, 4, 1) // the bridge
 	g := b.Build()
 
-	res := repro.PartitionK(g, 2, 42)
+	// repro.PartitionK is the legacy one-liner (panics on bad input);
+	// repro.Run is the primary entry point and returns errors instead.
+	cfg := repro.NewConfig(repro.Fast, 2)
+	cfg.Seed = 42
+	res, err := repro.Run(context.Background(), g, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("n=%d m=%d  cut=%d  balance=%.3f\n",
 		g.NumNodes(), g.NumEdges(), res.Cut, res.Balance)
 	fmt.Printf("blocks: %v\n", res.Blocks)
@@ -32,11 +44,23 @@ func main() {
 	}
 
 	// The same partitioner scales to generated instances; here a 2^14-node
-	// random geometric graph into 16 blocks with the Strong preset.
+	// random geometric graph into 16 blocks with the Strong preset, under a
+	// deadline and with typed trace events streamed as it works.
 	rgg := repro.RGG(14, 7)
-	cfg := repro.NewConfig(repro.Strong, 16)
+	cfg = repro.NewConfig(repro.Strong, 16)
 	cfg.Seed = 7
-	res = repro.Partition(rgg, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err = repro.Run(ctx, rgg, cfg,
+		repro.WithObserver(repro.ObserverFunc(func(ev repro.TraceEvent) {
+			if _, ok := ev.(repro.PhaseEvent); ok {
+				fmt.Println("  ", ev)
+			}
+		})))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 	cut, bal, feasible := repro.Evaluate(rgg, 16, cfg.Eps, res.Blocks)
 	fmt.Printf("rgg14 k=16: cut=%d balance=%.3f feasible=%v time=%v\n",
 		cut, bal, feasible, res.TotalTime.Round(1e6))

@@ -93,21 +93,35 @@ func Contract(g *graph.Graph, m matching.Matching) (*graph.Graph, []int32) {
 		panic("coarsen: contraction produced invalid graph: " + err.Error())
 	}
 	if g.HasCoords() {
-		fx, fy := g.Coords()
+		fx, fy, fz := g.Coords3()
 		cx := make([]float64, nc)
 		cy := make([]float64, nc)
+		var cz []float64
+		if fz != nil {
+			cz = make([]float64, nc)
+		}
 		cnt := make([]float64, nc)
 		for v := int32(0); v < int32(n); v++ {
 			c := fine2coarse[v]
 			cx[c] += fx[v]
 			cy[c] += fy[v]
+			if fz != nil {
+				cz[c] += fz[v]
+			}
 			cnt[c]++
 		}
 		for c := int32(0); c < nc; c++ {
 			cx[c] /= cnt[c]
 			cy[c] /= cnt[c]
+			if fz != nil {
+				cz[c] /= cnt[c]
+			}
 		}
-		cg.SetCoords(cx, cy)
+		if fz != nil {
+			cg.SetCoords3(cx, cy, cz)
+		} else {
+			cg.SetCoords(cx, cy)
+		}
 	}
 	return cg, fine2coarse
 }

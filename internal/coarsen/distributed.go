@@ -14,7 +14,7 @@ import (
 type peContraction struct {
 	firstCoarse int32   // global id of this PE's first coarse node
 	weights     []int64 // per owned coarse node, in id order
-	cx, cy      []float64
+	cx, cy, cz  []float64
 	edgeU       []int32 // coarse edge contributions (deterministic order)
 	edgeV       []int32
 	edgeW       []int64
@@ -36,7 +36,7 @@ type peContraction struct {
 // endpoint's owner), so coarse edge weights come out identical to a
 // shared-memory contraction of the same matching. Returns the coarse graph
 // and the fine→coarse node map of the global graph.
-func ContractDistributed(g *graph.Graph, sgs []*dist.Subgraph, ms []matching.Matching, ex *dist.Exchanger) (*graph.Graph, []int32) {
+func ContractDistributed(g *graph.Graph, sgs []*dist.Subgraph, ms []matching.Matching, ex dist.Transport) (*graph.Graph, []int32) {
 	pes := len(sgs)
 	parts := make([]*peContraction, pes)
 	var wg sync.WaitGroup
@@ -60,7 +60,11 @@ func ContractDistributed(g *graph.Graph, sgs []*dist.Subgraph, ms []matching.Mat
 		for i, w := range p.weights {
 			b.SetNodeWeight(p.firstCoarse+int32(i), w)
 		}
-		if g.HasCoords() {
+		if g.CoordDims() == 3 {
+			for i := range p.weights {
+				b.SetCoord3(p.firstCoarse+int32(i), p.cx[i], p.cy[i], p.cz[i])
+			}
+		} else if g.HasCoords() {
 			for i := range p.weights {
 				b.SetCoord(p.firstCoarse+int32(i), p.cx[i], p.cy[i])
 			}
@@ -79,7 +83,7 @@ func ContractDistributed(g *graph.Graph, sgs []*dist.Subgraph, ms []matching.Mat
 }
 
 // contractSubgraph is the per-PE worker of ContractDistributed.
-func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex *dist.Exchanger, pe int) *peContraction {
+func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex dist.Transport, pe int) *peContraction {
 	g := sg.Local
 	owned := sg.NumOwned
 	p := &peContraction{}
@@ -136,6 +140,9 @@ func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex *dist.Exchanger
 	if hasCoords {
 		p.cx = make([]float64, nOwn)
 		p.cy = make([]float64, nOwn)
+		if g.CoordDims() == 3 {
+			p.cz = make([]float64, nOwn)
+		}
 	}
 	members := make([]int32, nOwn) // member count per owned coarse node
 	for lv := int32(0); lv < int32(owned); lv++ {
@@ -153,6 +160,9 @@ func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex *dist.Exchanger
 		if hasCoords && members[c] > 0 {
 			p.cx[c] /= float64(members[c])
 			p.cy[c] /= float64(members[c])
+			if p.cz != nil {
+				p.cz[c] /= float64(members[c])
+			}
 		}
 	}
 
@@ -249,9 +259,12 @@ func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex *dist.Exchanger
 func addMember(p *peContraction, g *graph.Graph, c, lv int32, members []int32, hasCoords bool) {
 	p.weights[c] += g.NodeWeight(lv)
 	if hasCoords {
-		x, y := g.Coord(lv)
+		x, y, z := g.Coord3(lv)
 		p.cx[c] += x
 		p.cy[c] += y
+		if p.cz != nil {
+			p.cz[c] += z
+		}
 	}
 	members[c]++
 }

@@ -14,10 +14,15 @@ import (
 // contract, stitch) and returns its products plus the merged global
 // matching.
 func distContract(t *testing.T, g *graph.Graph, pes int, seed uint64) (*graph.Graph, []int32, matching.Matching) {
+	return distContractOver(t, g, dist.NewExchanger(pes), pes, seed)
+}
+
+// distContractOver is distContract over an explicit Transport, so the
+// equivalence tests can run against any message-passing backend.
+func distContractOver(t *testing.T, g *graph.Graph, ex dist.Transport, pes int, seed uint64) (*graph.Graph, []int32, matching.Matching) {
 	t.Helper()
 	assign := dist.Assign(g, dist.StrategyAuto, pes)
 	sgs := dist.ExtractAll(g, assign, pes)
-	ex := dist.NewExchanger(pes)
 	ms := matching.DistributedBounded(sgs, ex, rating.ExpansionStar2, matching.GPA, seed, 0, true)
 	gm := matching.GlobalFromSubgraphs(g.NumNodes(), sgs, ms)
 	if err := gm.Validate(g); err != nil {
@@ -95,6 +100,43 @@ func TestContractDistributedDeterminism(t *testing.T) {
 	if cg1.NumNodes() != cg2.NumNodes() || cg1.NumEdges() != cg2.NumEdges() {
 		t.Fatalf("coarse shape differs across runs: %d/%d vs %d/%d",
 			cg1.NumNodes(), cg1.NumEdges(), cg2.NumNodes(), cg2.NumEdges())
+	}
+	for v := range f2c1 {
+		if f2c1[v] != f2c2[v] {
+			t.Fatalf("fine2coarse differs at node %d: %d vs %d", v, f2c1[v], f2c2[v])
+		}
+	}
+	for v := int32(0); v < int32(cg1.NumNodes()); v++ {
+		a1, a2 := cg1.Adj(v), cg2.Adj(v)
+		w1, w2 := cg1.AdjWeights(v), cg2.AdjWeights(v)
+		if len(a1) != len(a2) {
+			t.Fatalf("degree differs at coarse node %d", v)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] || w1[i] != w2[i] {
+				t.Fatalf("adjacency differs at coarse node %d", v)
+			}
+		}
+	}
+}
+
+// TestContractDistributedTransportSwap runs the whole distributed level
+// over the barrier-based LockstepTransport and expects products
+// byte-identical to the channel Exchanger's — distributed coarsening must
+// depend only on the Transport contract, not on the Exchanger's machinery.
+func TestContractDistributedTransportSwap(t *testing.T) {
+	g := gen.DelaunayX(9, 4)
+	const pes, seed = 6, 23
+	cg1, f2c1, gm1 := distContract(t, g, pes, seed)
+	cg2, f2c2, gm2 := distContractOver(t, g, dist.NewLockstepTransport(pes), pes, seed)
+	if cg1.NumNodes() != cg2.NumNodes() || cg1.NumEdges() != cg2.NumEdges() {
+		t.Fatalf("coarse shape differs across transports: %d/%d vs %d/%d",
+			cg1.NumNodes(), cg1.NumEdges(), cg2.NumNodes(), cg2.NumEdges())
+	}
+	for v := range gm1 {
+		if gm1[v] != gm2[v] {
+			t.Fatalf("global matching differs at node %d: %d vs %d", v, gm1[v], gm2[v])
+		}
 	}
 	for v := range f2c1 {
 		if f2c1[v] != f2c2[v] {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/graph"
@@ -19,18 +21,42 @@ import (
 // from scratch: it runs the parallel pairwise refinement of §5 directly on
 // the finest graph (no multilevel hierarchy), rebalancing first if the input
 // violates the balance constraint. It returns the refined partition and its
-// cut. The input slice is not modified.
+// cut. The input slice is not modified. It is a legacy wrapper (panics on
+// invalid configuration); RefineExistingCtx is the error-returning form.
 func RefineExisting(g *graph.Graph, cfg Config, blocks []int32) ([]int32, int64) {
-	if err := cfg.Validate(); err != nil {
+	refined, cut, err := RefineExistingCtx(context.Background(), g, cfg, blocks)
+	if err != nil {
 		panic(err)
 	}
+	return refined, cut
+}
+
+// RefineExistingCtx is RefineExisting under the new error contract: invalid
+// configurations come back as ErrInvalidConfig-wrapped errors, a cancelled
+// context aborts between global iterations with ctx.Err(), and WithObserver
+// options receive the RefineEvents (there is no hierarchy, so events carry
+// Level 0).
+func RefineExistingCtx(ctx context.Context, g *graph.Graph, cfg Config, blocks []int32, opts ...Option) ([]int32, int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if len(blocks) != g.NumNodes() {
+		return nil, 0, fmt.Errorf("%w: %d blocks for %d nodes", ErrInvalidConfig, len(blocks), g.NumNodes())
+	}
+	pl := NewPipeline(opts...)
+	env := &Env{observers: pl.Observers}
 	own := append([]int32(nil), blocks...)
 	p := part.FromBlocks(g, cfg.K, cfg.Eps, own)
 	if !p.Feasible() {
 		refine.Rebalance(p, rng.NewStream(cfg.Seed, 0xba1a2))
 	}
-	refineLevel(p, &cfg, 0x5eed)
-	return p.Block, p.Cut()
+	if err := refineLevel(ctx, p, &cfg, 0x5eed, 0, env); err != nil {
+		return nil, 0, err
+	}
+	return p.Block, p.Cut(), nil
 }
 
 // EvolveResult reports an evolutionary run.

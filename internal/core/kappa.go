@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -28,104 +29,29 @@ type Result struct {
 	TotalTime   time.Duration
 }
 
-// Partition runs the full KaPPa pipeline on g.
+// Partition runs the full KaPPa pipeline on g. It is the legacy entry point,
+// kept as a thin wrapper over Pipeline.Run: no cancellation, no observers,
+// and — for backward compatibility — a panic on invalid configuration. New
+// code should call Run, which returns errors instead.
 func Partition(g *graph.Graph, cfg Config) Result {
-	if err := cfg.Validate(); err != nil {
+	res, err := Run(context.Background(), g, cfg)
+	if err != nil {
 		panic(err)
 	}
-	start := time.Now()
-
-	// ------ Contraction phase (§3) ------
-	tc := time.Now()
-	h := buildHierarchy(g, &cfg)
-	coarsenTime := time.Since(tc)
-
-	// ------ Initial partitioning (§4) ------
-	ti := time.Now()
-	block, _ := initialPartition(h.Coarsest, &cfg)
-	initTime := time.Since(ti)
-
-	// ------ Refinement phase (§5) ------
-	tr := time.Now()
-	p := part.FromBlocks(h.Coarsest, cfg.K, cfg.Eps, block)
-	refineLevel(p, &cfg, 0)
-	for li := h.Depth() - 1; li >= 0; li-- {
-		block = h.Project(li, p.Block)
-		p = part.FromBlocks(h.Levels[li].Fine, cfg.K, cfg.Eps, block)
-		refineLevel(p, &cfg, uint64(h.Depth()-li))
-	}
-	if !p.Feasible() {
-		refine.Rebalance(p, rng.NewStream(cfg.Seed, 0xba1a))
-	}
-	refineTime := time.Since(tr)
-
-	return Result{
-		Blocks:      p.Block,
-		Cut:         p.Cut(),
-		Balance:     p.Imbalance(),
-		Levels:      h.Depth(),
-		CoarsenTime: coarsenTime,
-		InitTime:    initTime,
-		RefineTime:  refineTime,
-		TotalTime:   time.Since(start),
-	}
-}
-
-// buildHierarchy runs parallel coarsening until the stop rule of §4 fires:
-// fewer than max(20·P, n/(α·k²), 2k) nodes remain — the per-PE threshold
-// max(20, n/(αk²)) of the paper summed over PEs — or the graph stops
-// shrinking.
-func buildHierarchy(g *graph.Graph, cfg *Config) *coarsen.Hierarchy {
-	pes := cfg.pes()
-	n0 := float64(g.NumNodes())
-	threshold := int(n0 / (cfg.StopAlpha * float64(cfg.K) * float64(cfg.K)))
-	if t := 20 * pes; threshold < t {
-		threshold = t
-	}
-	if t := 2 * cfg.K; threshold < t {
-		threshold = t
-	}
-	h := coarsen.NewHierarchy(g)
-	// Cluster-weight cap (Metis' maxvwgt): no contracted pair may exceed
-	// 1.5x the average node weight of the target coarsest graph, so even
-	// tie-heavy ratings cannot snowball single clusters into blobs the
-	// balance constraint cannot place.
-	maxPair := 3 * g.TotalNodeWeight() / (2 * int64(threshold))
-	if maxPair < 2 {
-		maxPair = 2
-	}
-	for level := 0; h.Coarsest.NumNodes() > threshold; level++ {
-		cur := h.Coarsest
-		var cg *graph.Graph
-		var f2c []int32
-		if pes > 1 && cfg.Coarsen == CoarsenDistributed {
-			cg, f2c = distributedLevel(cur, cfg, pes, level, maxPair)
-		} else {
-			cg, f2c = sharedLevel(cur, cfg, pes, level, maxPair)
-		}
-		if cg == nil {
-			break // empty matching: the graph cannot shrink further
-		}
-		// Insist on geometric shrinking; otherwise initial partitioning can
-		// handle the rest.
-		if cg.NumNodes() > cur.NumNodes()*49/50 {
-			break
-		}
-		h.Push(cg, f2c)
-	}
-	return h
+	return res
 }
 
 // sharedLevel performs one contraction level on the shared global graph:
 // parallel (or, with one PE, sequential) matching followed by a global
-// contraction. Returns (nil, nil) when the matching comes out empty.
-func sharedLevel(cur *graph.Graph, cfg *Config, pes, level int, maxPair int64) (*graph.Graph, []int32) {
+// contraction. blocks is the node-to-PE assignment of the Distributor stage
+// (unused with one PE). Returns (nil, nil) when the matching comes out
+// empty.
+func sharedLevel(cur *graph.Graph, cfg *Config, blocks []int32, pes, level int, maxPair int64) (*graph.Graph, []int32) {
 	rt := rating.NewRater(cfg.Rating, cur)
 	var m matching.Matching
 	if pes > 1 {
-		// Prepartition nodes onto PEs (§3.3) for matching locality; the
+		// The prepartition (§3.3) localizes matching work onto PEs; the
 		// strategy does not influence the final partition directly.
-		blocks := dist.Assign(cur, cfg.Distribution, pes)
 		if cfg.GapMatching {
 			m = matching.ParallelBounded(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
 		} else {
@@ -142,15 +68,13 @@ func sharedLevel(cur *graph.Graph, cfg *Config, pes, level int, maxPair int64) (
 
 // distributedLevel performs one contraction level PE-locally (§3): extract
 // per-PE subgraphs with ghost layers, match each subgraph's internal edges
-// sequentially, resolve the boundary by mutual proposals over the per-PE
-// mailboxes of a dist.Exchanger, contract every subgraph locally, and stitch
-// the coarse subgraphs back into the next-level global graph. Returns
-// (nil, nil) when the matching comes out empty.
-func distributedLevel(cur *graph.Graph, cfg *Config, pes, level int, maxPair int64) (*graph.Graph, []int32) {
-	blocks := dist.Assign(cur, cfg.Distribution, pes)
+// sequentially, resolve the boundary by mutual proposals over the Transport
+// supersteps, contract every subgraph locally, and stitch the coarse
+// subgraphs back into the next-level global graph. Returns (nil, nil) when
+// the matching comes out empty.
+func distributedLevel(cur *graph.Graph, cfg *Config, blocks []int32, t dist.Transport, pes, level int, maxPair int64) (*graph.Graph, []int32) {
 	sgs := dist.ExtractAll(cur, blocks, pes)
-	ex := dist.NewExchanger(pes)
-	ms := matching.DistributedBounded(sgs, ex, cfg.Rating, cfg.Matcher,
+	ms := matching.DistributedBounded(sgs, t, cfg.Rating, cfg.Matcher,
 		cfg.Seed+uint64(level)*101, maxPair, cfg.GapMatching)
 	matched := false
 	for _, m := range ms {
@@ -162,7 +86,7 @@ func distributedLevel(cur *graph.Graph, cfg *Config, pes, level int, maxPair int
 	if !matched {
 		return nil, nil
 	}
-	return coarsen.ContractDistributed(cur, sgs, ms, ex)
+	return coarsen.ContractDistributed(cur, sgs, ms, t)
 }
 
 // parallelNoGap is the ablation variant of parallel matching: local
@@ -190,10 +114,13 @@ func initialPartition(g *graph.Graph, cfg *Config) ([]int32, int64) {
 // refineLevel performs the nested refinement loops of §5 on one level:
 // global iterations step through the pair schedule; each scheduled pair runs
 // up to cfg.LocalIter local iterations of two-way FM, each local search done
-// twice with different seeds and the better result adopted.
-func refineLevel(p *part.Partition, cfg *Config, levelSeed uint64) {
+// twice with different seeds and the better result adopted. levelSeed
+// derives the level's random streams; level names the level in RefineEvents
+// (uncoarsening steps done: 0 = coarsest graph). The context is checked
+// before every global iteration.
+func refineLevel(ctx context.Context, p *part.Partition, cfg *Config, levelSeed uint64, level int, env *Env) error {
 	if cfg.K < 2 {
-		return
+		return nil
 	}
 	cfg2 := refine.TwoWayConfig{
 		Strategy:  cfg.Strategy,
@@ -202,6 +129,9 @@ func refineLevel(p *part.Partition, cfg *Config, levelSeed uint64) {
 	}
 	fruitlessRuns := 0
 	for global := 0; global < cfg.MaxGlobalIter; global++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		rounds := schedule(p, cfg, levelSeed, global)
 		var totalGain int64
 		for round, class := range rounds {
@@ -235,6 +165,7 @@ func refineLevel(p *part.Partition, cfg *Config, levelSeed uint64) {
 				totalGain += gv
 			}
 		}
+		env.Emit(RefineEvent{Level: level, Iteration: global, Gain: totalGain})
 		if totalGain > 0 {
 			fruitlessRuns = 0
 			continue
@@ -244,6 +175,7 @@ func refineLevel(p *part.Partition, cfg *Config, levelSeed uint64) {
 			break
 		}
 	}
+	return nil
 }
 
 // schedule produces the rounds of block pairs for one global iteration.

@@ -85,7 +85,7 @@ func TestPartitionK1(t *testing.T) {
 }
 
 func TestPartitionWithoutCoords(t *testing.T) {
-	g := gen.Grid3D(12, 12, 4) // no coordinates: index-range prepartition
+	g := gen.Banded(4000, 10, 30, 0.7, 5) // no coordinates: index-range prepartition
 	cfg := NewConfig(Fast, 8)
 	cfg.Seed = 5
 	res := Partition(g, cfg)

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/coarsen"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/refine"
+	"repro/internal/rng"
+)
+
+// ErrInvalidConfig wraps every configuration error returned by Run, so
+// callers can distinguish user mistakes (usage errors, exit code 2 in
+// cmd/kappa) from runtime failures: errors.Is(err, ErrInvalidConfig).
+var ErrInvalidConfig = errors.New("core: invalid configuration")
+
+// Distributor assigns every node of g to one of pes PEs — the
+// prepartitioning stage of §3.3, consulted once per contraction level. The
+// default consults cfg.Distribution (RCB/SFC/ranges).
+type Distributor interface {
+	Distribute(ctx context.Context, g *graph.Graph, cfg *Config, pes int) ([]int32, error)
+}
+
+// Coarsener builds the contraction hierarchy of §3. The default runs
+// matching-based contraction — shared-memory or PE-local over the Transport,
+// per cfg.Coarsen — until the stop rule of §4 fires, and emits one
+// LevelEvent per pushed level.
+type Coarsener interface {
+	Coarsen(ctx context.Context, g *graph.Graph, cfg *Config, env *Env) (*coarsen.Hierarchy, error)
+}
+
+// InitialPartitioner partitions the coarsest graph (§4). The default runs
+// the sequential initial partitioner cfg.InitRepeats times concurrently and
+// adopts the best result.
+type InitialPartitioner interface {
+	InitialPartition(ctx context.Context, g *graph.Graph, cfg *Config, env *Env) (blocks []int32, cut int64, err error)
+}
+
+// Refiner lifts the initial partition through the hierarchy and improves it
+// (§5). The default runs parallel pairwise FM scheduled by an edge coloring
+// of the quotient graph and emits one RefineEvent per global iteration.
+type Refiner interface {
+	Refine(ctx context.Context, h *coarsen.Hierarchy, initial []int32, cfg *Config, env *Env) (*part.Partition, error)
+}
+
+// Env is what the Pipeline hands every stage besides the graph and config:
+// the cross-stage collaborators (node distributor, message transport) and
+// the trace sink.
+type Env struct {
+	Distributor Distributor
+	// Transport carries the superstep messages of distributed coarsening.
+	// nil means one channel-backed dist.Exchanger per contraction level —
+	// the in-process default.
+	Transport dist.Transport
+
+	observers []Observer
+}
+
+// Emit delivers ev to every attached Observer, in attachment order.
+func (e *Env) Emit(ev TraceEvent) {
+	for _, o := range e.observers {
+		o.OnTrace(ev)
+	}
+}
+
+// transportFor returns the Transport distributed coarsening must use for a
+// superstep sequence over pes PEs.
+func (e *Env) transportFor(pes int) dist.Transport {
+	if e.Transport != nil {
+		return e.Transport
+	}
+	return dist.NewExchanger(pes)
+}
+
+// Pipeline is the composable KaPPa runner: four pluggable stages, an
+// optional Transport for the distributed contraction phase, and optional
+// Observers for typed progress events. The zero value runs the paper's
+// pipeline; NewPipeline applies functional options on top of the defaults.
+//
+// Error contract: Run returns ErrInvalidConfig-wrapped errors for bad input,
+// the context's error (matching errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded) when cancelled, and never panics on user input.
+// A fixed Config.Seed makes Run byte-deterministic — and byte-identical to
+// the legacy Partition wrapper.
+type Pipeline struct {
+	Distributor Distributor
+	Coarsener   Coarsener
+	Initial     InitialPartitioner
+	Refiner     Refiner
+	Transport   dist.Transport
+	Observers   []Observer
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithObserver attaches an Observer; repeated options attach several, all of
+// which receive every event in order.
+func WithObserver(o Observer) Option {
+	return func(p *Pipeline) { p.Observers = append(p.Observers, o) }
+}
+
+// WithTransport routes every superstep of distributed coarsening through t
+// instead of per-level channel Exchangers. t.PEs() must match the
+// configured PE count; Run rejects a mismatch as ErrInvalidConfig.
+func WithTransport(t dist.Transport) Option {
+	return func(p *Pipeline) { p.Transport = t }
+}
+
+// WithDistributor replaces the node-to-PE prepartitioning stage.
+func WithDistributor(d Distributor) Option {
+	return func(p *Pipeline) { p.Distributor = d }
+}
+
+// WithCoarsener replaces the contraction stage.
+func WithCoarsener(c Coarsener) Option {
+	return func(p *Pipeline) { p.Coarsener = c }
+}
+
+// WithInitialPartitioner replaces the initial partitioning stage.
+func WithInitialPartitioner(ip InitialPartitioner) Option {
+	return func(p *Pipeline) { p.Initial = ip }
+}
+
+// WithRefiner replaces the refinement stage.
+func WithRefiner(r Refiner) Option {
+	return func(p *Pipeline) { p.Refiner = r }
+}
+
+// NewPipeline returns a Pipeline with the paper's default stages and the
+// given options applied.
+func NewPipeline(opts ...Option) *Pipeline {
+	p := &Pipeline{}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Run executes the pipeline with the given options; it is the primary entry
+// point of the package. See Pipeline.Run for the error contract.
+func Run(ctx context.Context, g *graph.Graph, cfg Config, opts ...Option) (Result, error) {
+	return NewPipeline(opts...).Run(ctx, g, cfg)
+}
+
+// Run executes the full pipeline on g: contraction, initial partitioning,
+// multilevel refinement. A nil ctx counts as context.Background(). The
+// context is checked between phases, before every contraction level, and
+// before every global refinement iteration, so cancellation aborts promptly
+// with ctx.Err(); invalid configurations return ErrInvalidConfig-wrapped
+// errors instead of panicking.
+func (pl *Pipeline) Run(ctx context.Context, g *graph.Graph, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if g == nil {
+		return Result{}, fmt.Errorf("%w: nil graph", ErrInvalidConfig)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if pl.Transport != nil && pl.Transport.PEs() != cfg.pes() {
+		return Result{}, fmt.Errorf("%w: transport connects %d PEs, configuration uses %d",
+			ErrInvalidConfig, pl.Transport.PEs(), cfg.pes())
+	}
+	env := &Env{
+		Distributor: pl.Distributor,
+		Transport:   pl.Transport,
+		observers:   pl.Observers,
+	}
+	if env.Distributor == nil {
+		env.Distributor = strategyDistributor{}
+	}
+	coarsener := pl.Coarsener
+	if coarsener == nil {
+		coarsener = matchingCoarsener{}
+	}
+	initial := pl.Initial
+	if initial == nil {
+		initial = repeatInitialPartitioner{}
+	}
+	refiner := pl.Refiner
+	if refiner == nil {
+		refiner = pairwiseRefiner{}
+	}
+
+	start := time.Now()
+
+	// ------ Contraction phase (§3) ------
+	tc := time.Now()
+	h, err := coarsener.Coarsen(ctx, g, &cfg, env)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: coarsening: %w", err)
+	}
+	coarsenTime := time.Since(tc)
+	env.Emit(PhaseEvent{PhaseCoarsen, coarsenTime})
+
+	// ------ Initial partitioning (§4) ------
+	ti := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("core: initial partitioning: %w", err)
+	}
+	block, cut, err := initial.InitialPartition(ctx, h.Coarsest, &cfg, env)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: initial partitioning: %w", err)
+	}
+	initTime := time.Since(ti)
+	env.Emit(InitEvent{Cut: cut, Time: initTime})
+	env.Emit(PhaseEvent{PhaseInit, initTime})
+
+	// ------ Refinement phase (§5) ------
+	tr := time.Now()
+	p, err := refiner.Refine(ctx, h, block, &cfg, env)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: refinement: %w", err)
+	}
+	refineTime := time.Since(tr)
+	env.Emit(PhaseEvent{PhaseRefine, refineTime})
+
+	res := Result{
+		Blocks:      p.Block,
+		Cut:         p.Cut(),
+		Balance:     p.Imbalance(),
+		Levels:      h.Depth(),
+		CoarsenTime: coarsenTime,
+		InitTime:    initTime,
+		RefineTime:  refineTime,
+		TotalTime:   time.Since(start),
+	}
+	env.Emit(PhaseEvent{PhaseTotal, res.TotalTime})
+	return res, nil
+}
+
+// strategyDistributor is the default Distributor: the strategy selected by
+// cfg.Distribution (§3.3).
+type strategyDistributor struct{}
+
+func (strategyDistributor) Distribute(ctx context.Context, g *graph.Graph, cfg *Config, pes int) ([]int32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return dist.Assign(g, cfg.Distribution, pes), nil
+}
+
+// matchingCoarsener is the default Coarsener: parallel matching-based
+// contraction until the stop rule of §4 fires: fewer than
+// max(20·P, n/(α·k²), 2k) nodes remain — the per-PE threshold
+// max(20, n/(αk²)) of the paper summed over PEs — or the graph stops
+// shrinking.
+type matchingCoarsener struct{}
+
+func (matchingCoarsener) Coarsen(ctx context.Context, g *graph.Graph, cfg *Config, env *Env) (*coarsen.Hierarchy, error) {
+	pes := cfg.pes()
+	n0 := float64(g.NumNodes())
+	threshold := int(n0 / (cfg.StopAlpha * float64(cfg.K) * float64(cfg.K)))
+	if t := 20 * pes; threshold < t {
+		threshold = t
+	}
+	if t := 2 * cfg.K; threshold < t {
+		threshold = t
+	}
+	h := coarsen.NewHierarchy(g)
+	// Cluster-weight cap (Metis' maxvwgt): no contracted pair may exceed
+	// 1.5x the average node weight of the target coarsest graph, so even
+	// tie-heavy ratings cannot snowball single clusters into blobs the
+	// balance constraint cannot place.
+	maxPair := 3 * g.TotalNodeWeight() / (2 * int64(threshold))
+	if maxPair < 2 {
+		maxPair = 2
+	}
+	for level := 0; h.Coarsest.NumNodes() > threshold; level++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cur := h.Coarsest
+		tl := time.Now()
+		var blocks []int32
+		if pes > 1 {
+			var err error
+			blocks, err = env.Distributor.Distribute(ctx, cur, cfg, pes)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var cg *graph.Graph
+		var f2c []int32
+		if pes > 1 && cfg.Coarsen == CoarsenDistributed {
+			cg, f2c = distributedLevel(cur, cfg, blocks, env.transportFor(pes), pes, level, maxPair)
+		} else {
+			cg, f2c = sharedLevel(cur, cfg, blocks, pes, level, maxPair)
+		}
+		if cg == nil {
+			break // empty matching: the graph cannot shrink further
+		}
+		// Insist on geometric shrinking; otherwise initial partitioning can
+		// handle the rest.
+		if cg.NumNodes() > cur.NumNodes()*49/50 {
+			break
+		}
+		h.Push(cg, f2c)
+		env.Emit(LevelEvent{
+			Level: h.Depth(),
+			Nodes: cg.NumNodes(),
+			Edges: cg.NumEdges(),
+			Time:  time.Since(tl),
+		})
+	}
+	return h, nil
+}
+
+// repeatInitialPartitioner is the default InitialPartitioner: cfg.InitRepeats
+// concurrent seeded runs of the sequential partitioner, best result adopted.
+type repeatInitialPartitioner struct{}
+
+func (repeatInitialPartitioner) InitialPartition(ctx context.Context, g *graph.Graph, cfg *Config, env *Env) ([]int32, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	block, cut := initialPartition(g, cfg)
+	return block, cut, nil
+}
+
+// pairwiseRefiner is the default Refiner: the nested refinement loops of §5
+// on every level, coarsest to finest, followed by a rebalancing pass when
+// the projected partition violates the balance constraint.
+type pairwiseRefiner struct{}
+
+func (pairwiseRefiner) Refine(ctx context.Context, h *coarsen.Hierarchy, initial []int32, cfg *Config, env *Env) (*part.Partition, error) {
+	p := part.FromBlocks(h.Coarsest, cfg.K, cfg.Eps, initial)
+	if err := refineLevel(ctx, p, cfg, 0, 0, env); err != nil {
+		return nil, err
+	}
+	for li := h.Depth() - 1; li >= 0; li-- {
+		block := h.Project(li, p.Block)
+		p = part.FromBlocks(h.Levels[li].Fine, cfg.K, cfg.Eps, block)
+		if err := refineLevel(ctx, p, cfg, uint64(h.Depth()-li), h.Depth()-li, env); err != nil {
+			return nil, err
+		}
+	}
+	if !p.Feasible() {
+		refine.Rebalance(p, rng.NewStream(cfg.Seed, 0xba1a))
+	}
+	return p, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase names one top-level stage of the pipeline.
+type Phase int
+
+const (
+	// PhaseCoarsen is the contraction phase (§3).
+	PhaseCoarsen Phase = iota
+	// PhaseInit is initial partitioning of the coarsest graph (§4).
+	PhaseInit
+	// PhaseRefine is multilevel pairwise refinement (§5).
+	PhaseRefine
+	// PhaseTotal is the whole run; its PhaseEvent is always the last event.
+	PhaseTotal
+)
+
+// String returns the human-readable phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseCoarsen:
+		return "coarsen"
+	case PhaseInit:
+		return "init"
+	case PhaseRefine:
+		return "refine"
+	case PhaseTotal:
+		return "total"
+	default:
+		return fmt.Sprintf("core.Phase(%d)", int(p))
+	}
+}
+
+// TraceEvent is a typed progress event emitted by a Pipeline run. Events are
+// emitted synchronously from the coordinating goroutine, in pipeline order:
+// one LevelEvent per contraction level, then the coarsen PhaseEvent, the
+// InitEvent, the init PhaseEvent, the RefineEvents of every uncoarsening
+// level, the refine PhaseEvent, and finally the total PhaseEvent. An
+// Observer must not block for long — it runs on the pipeline's critical
+// path.
+type TraceEvent interface {
+	// String renders the event for progress logs.
+	String() string
+	traceEvent()
+}
+
+// LevelEvent reports one pushed contraction level.
+type LevelEvent struct {
+	Level int // 1-based contraction level
+	Nodes int // nodes of the new coarser graph
+	Edges int // edges of the new coarser graph
+	Time  time.Duration
+}
+
+func (LevelEvent) traceEvent() {}
+
+func (e LevelEvent) String() string {
+	return fmt.Sprintf("level %d: %d nodes, %d edges (%v)", e.Level, e.Nodes, e.Edges, e.Time.Round(time.Microsecond))
+}
+
+// InitEvent reports the initial partition of the coarsest graph.
+type InitEvent struct {
+	Cut  int64
+	Time time.Duration
+}
+
+func (InitEvent) traceEvent() {}
+
+func (e InitEvent) String() string {
+	return fmt.Sprintf("init: cut %d (%v)", e.Cut, e.Time.Round(time.Microsecond))
+}
+
+// RefineEvent reports one global refinement iteration on one level.
+type RefineEvent struct {
+	Level     int   // uncoarsening steps done: 0 = coarsest graph, Levels = finest
+	Iteration int   // global iteration within the level, 0-based
+	Gain      int64 // total cut reduction of the iteration
+}
+
+func (RefineEvent) traceEvent() {}
+
+func (e RefineEvent) String() string {
+	return fmt.Sprintf("refine level %d iter %d: gain %d", e.Level, e.Iteration, e.Gain)
+}
+
+// PhaseEvent reports a finished phase and its wall-clock duration.
+type PhaseEvent struct {
+	Phase Phase
+	Time  time.Duration
+}
+
+func (PhaseEvent) traceEvent() {}
+
+func (e PhaseEvent) String() string {
+	return fmt.Sprintf("%s phase: %v", e.Phase, e.Time.Round(time.Microsecond))
+}
+
+// Observer receives the trace events of a pipeline run; attach one with
+// WithObserver. Implementations need not be safe for concurrent use: the
+// pipeline emits from a single goroutine.
+type Observer interface {
+	OnTrace(TraceEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(TraceEvent)
+
+// OnTrace calls f(ev).
+func (f ObserverFunc) OnTrace(ev TraceEvent) { f(ev) }
+
+// Timings is an Observer accumulating the per-phase wall-clock durations of
+// a run from its PhaseEvents — how benchmark harnesses obtain phase timings
+// without ad-hoc stopwatches around the call.
+type Timings struct {
+	Coarsen, Init, Refine, Total time.Duration
+}
+
+// OnTrace implements Observer.
+func (t *Timings) OnTrace(ev TraceEvent) {
+	pe, ok := ev.(PhaseEvent)
+	if !ok {
+		return
+	}
+	switch pe.Phase {
+	case PhaseCoarsen:
+		t.Coarsen += pe.Time
+	case PhaseInit:
+		t.Init += pe.Time
+	case PhaseRefine:
+		t.Refine += pe.Time
+	case PhaseTotal:
+		t.Total += pe.Time
+	}
+}

@@ -99,11 +99,13 @@ func Assign(g *graph.Graph, s Strategy, pes int) []int32 {
 	switch s {
 	case StrategyRCB, StrategyAuto:
 		if g.HasCoords() {
-			x, y := g.Coords()
-			return RCBWeighted(x, y, nodeWeights(g), pes)
+			// All available dimensions: real 3D bisection for 3D inputs.
+			return RCBWeightedDims(g.CoordSlices(), nodeWeights(g), pes)
 		}
 	case StrategySFC:
 		if g.HasCoords() {
+			// The Hilbert curve is 2D; 3D inputs are ordered by their x/y
+			// projection (still geometric, unlike the ranges fallback).
 			x, y := g.Coords()
 			return HilbertWeighted(x, y, nodeWeights(g), pes)
 		}

@@ -126,19 +126,5 @@ func (e *Exchanger) Exchange(pe int, out [][]Msg) []Msg {
 // receives the same result. It is the termination vote of the iterated
 // boundary-matching rounds.
 func (e *Exchanger) AllReduceOr(pe int, v bool) bool {
-	var w int64
-	if v {
-		w = 1
-	}
-	out := make([][]Msg, e.pes)
-	for q := range out {
-		out[q] = []Msg{{Kind: MsgFlag, W: w}}
-	}
-	any := false
-	for _, m := range e.Exchange(pe, out) {
-		if m.W != 0 {
-			any = true
-		}
-	}
-	return any
+	return allReduceOr(e, pe, v)
 }

@@ -8,14 +8,27 @@ func RCB(x, y []float64, pes int) []int32 {
 	return RCBWeighted(x, y, nil, pes)
 }
 
-// RCBWeighted is recursive coordinate bisection (§3.3): the current node set
-// is split at the weighted median of its longest axis, the two halves recurse
-// on the two halves of the PE group. Non-power-of-two PE counts are handled
-// by splitting a p-PE group into ⌊p/2⌋ and ⌈p/2⌉ PEs and placing the cut at
-// the matching weight fraction. w == nil means unit weights. The result is
-// deterministic: ties in coordinates are broken by node id.
+// RCBWeighted is recursive coordinate bisection over 2D coordinates; see
+// RCBWeightedDims for the algorithm.
 func RCBWeighted(x, y []float64, w []int64, pes int) []int32 {
-	n := len(x)
+	return RCBWeightedDims([][]float64{x, y}, w, pes)
+}
+
+// RCBWeightedDims is recursive coordinate bisection (§3.3) over any number
+// of coordinate dimensions: the current node set is split at the weighted
+// median of its widest dimension (the one with the largest extent; the
+// lowest dimension index wins ties), the two halves recurse on the two
+// halves of the PE group. Non-power-of-two PE counts are handled by
+// splitting a p-PE group into ⌊p/2⌋ and ⌈p/2⌉ PEs and placing the cut at
+// the matching weight fraction. w == nil means unit weights. The result is
+// deterministic: ties in coordinates are broken by node id. With two
+// dimensions this is exactly the classic 2D RCB; 3D instances (e.g. Grid3D)
+// get real geometric bisection instead of an index-range fallback.
+func RCBWeightedDims(dims [][]float64, w []int64, pes int) []int32 {
+	if len(dims) == 0 {
+		panic("dist: RCBWeightedDims needs at least one coordinate dimension")
+	}
+	n := len(dims[0])
 	assign := make([]int32, n)
 	if pes <= 1 || n == 0 {
 		return assign
@@ -43,26 +56,12 @@ func RCBWeighted(x, y []float64, w []int64, pes int) []int32 {
 		pl := p / 2
 		pr := p - pl
 
-		// Longest axis of the bounding box of the current set.
-		minX, maxX := x[nodes[0]], x[nodes[0]]
-		minY, maxY := y[nodes[0]], y[nodes[0]]
-		for _, v := range nodes[1:] {
-			if x[v] < minX {
-				minX = x[v]
+		// Widest dimension of the bounding box of the current set.
+		coord, widest := dims[0], extent(dims[0], nodes)
+		for _, c := range dims[1:] {
+			if e := extent(c, nodes); e > widest {
+				coord, widest = c, e
 			}
-			if x[v] > maxX {
-				maxX = x[v]
-			}
-			if y[v] < minY {
-				minY = y[v]
-			}
-			if y[v] > maxY {
-				maxY = y[v]
-			}
-		}
-		coord := x
-		if maxY-minY > maxX-minX {
-			coord = y
 		}
 		sort.Slice(nodes, func(i, j int) bool {
 			a, b := nodes[i], nodes[j]
@@ -100,6 +99,20 @@ func RCBWeighted(x, y []float64, w []int64, pes int) []int32 {
 	}
 	rec(nodes, total, 0, pes)
 	return assign
+}
+
+// extent returns the coordinate spread of the node set along one dimension.
+func extent(c []float64, nodes []int32) float64 {
+	lo, hi := c[nodes[0]], c[nodes[0]]
+	for _, v := range nodes[1:] {
+		if c[v] < lo {
+			lo = c[v]
+		}
+		if c[v] > hi {
+			hi = c[v]
+		}
+	}
+	return hi - lo
 }
 
 // minSide returns the minimum number of nodes the p-PE side of a split must

@@ -131,3 +131,80 @@ func TestRCBEveryPEPopulated(t *testing.T) {
 		}
 	}
 }
+
+// TestRCBDims2DEquivalence checks that the generalized widest-dimension
+// bisection reproduces the classic 2D RCB exactly when given two dimensions.
+func TestRCBDims2DEquivalence(t *testing.T) {
+	for _, pes := range []int{2, 5, 8, 13} {
+		x, y := randomPoints(3000, 7)
+		a := RCBWeighted(x, y, nil, pes)
+		b := RCBWeightedDims([][]float64{x, y}, nil, pes)
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("pes=%d: assignment differs at node %d: %d vs %d", pes, v, a[v], b[v])
+			}
+		}
+	}
+}
+
+// TestRCB3DSplitsWidestAxis gives the third dimension by far the largest
+// extent; the first bisection must cut it, so with two PEs the assignment
+// separates low z from high z exactly.
+func TestRCB3DSplitsWidestAxis(t *testing.T) {
+	x, y := randomPoints(2000, 9)
+	z := make([]float64, len(x))
+	r := rng.New(11)
+	for i := range z {
+		z[i] = 100 * r.Float64()
+	}
+	assign := RCBWeightedDims([][]float64{x, y, z}, nil, 2)
+	// Every PE-0 node must have smaller z than every PE-1 node.
+	max0, min1 := -1.0, 101.0
+	var n0 int
+	for v, pe := range assign {
+		if pe == 0 {
+			n0++
+			if z[v] > max0 {
+				max0 = z[v]
+			}
+		} else if z[v] < min1 {
+			min1 = z[v]
+		}
+	}
+	if max0 > min1 {
+		t.Fatalf("bisection did not cut the z axis: max z on PE0 %.3f > min z on PE1 %.3f", max0, min1)
+	}
+	if n0 < 900 || n0 > 1100 {
+		t.Fatalf("unbalanced bisection: %d of %d on PE 0", n0, len(assign))
+	}
+}
+
+// TestRCB3DBalance runs 3D RCB across PE counts and checks every PE is
+// populated and node counts stay near-balanced.
+func TestRCB3DBalance(t *testing.T) {
+	x, y := randomPoints(4000, 3)
+	z := make([]float64, len(x))
+	r := rng.New(5)
+	for i := range z {
+		z[i] = r.Float64()
+	}
+	for _, pes := range []int{2, 3, 7, 8, 16} {
+		assign := RCBWeightedDims([][]float64{x, y, z}, nil, pes)
+		counts := make([]int, pes)
+		for _, pe := range assign {
+			if pe < 0 || int(pe) >= pes {
+				t.Fatalf("pes=%d: assignment out of range: %d", pes, pe)
+			}
+			counts[pe]++
+		}
+		ideal := len(assign) / pes
+		for pe, c := range counts {
+			if c == 0 {
+				t.Fatalf("pes=%d: PE %d empty", pes, pe)
+			}
+			if c < ideal*7/10 || c > ideal*13/10 {
+				t.Errorf("pes=%d: PE %d holds %d nodes (ideal %d)", pes, pe, c, ideal)
+			}
+		}
+	}
+}

@@ -119,7 +119,12 @@ func extractOwned(g *graph.Graph, assign []int32, pe int32, owned []int32) *Subg
 	for li, v := range s.LocalToGlobal {
 		b.SetNodeWeight(int32(li), g.NodeWeight(v))
 	}
-	if g.HasCoords() {
+	if g.CoordDims() == 3 {
+		for li, v := range s.LocalToGlobal {
+			cx, cy, cz := g.Coord3(v)
+			b.SetCoord3(int32(li), cx, cy, cz)
+		}
+	} else if g.HasCoords() {
 		for li, v := range s.LocalToGlobal {
 			cx, cy := g.Coord(v)
 			b.SetCoord(int32(li), cx, cy)

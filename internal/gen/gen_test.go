@@ -96,6 +96,13 @@ func TestGrid3D(t *testing.T) {
 	if !g.IsConnected() {
 		t.Fatal("grid must be connected")
 	}
+	if g.CoordDims() != 3 {
+		t.Fatalf("Grid3D must carry 3D coordinates, got %d dims", g.CoordDims())
+	}
+	x, y, z := g.Coord3(int32((1*4+2)*5 + 3)) // lattice point (1,2,3)
+	if x != 1 || y != 2 || z != 3 {
+		t.Fatalf("coords of (1,2,3) = (%g,%g,%g)", x, y, z)
+	}
 }
 
 func TestDelaunayProperties(t *testing.T) {

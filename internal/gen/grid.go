@@ -28,8 +28,9 @@ func Grid2D(w, h int) *graph.Graph {
 }
 
 // Grid3D generates an x×y×z lattice with 6-neighbor connectivity; 3D FEM
-// meshes (the paper's 598a, m14b, auto) have this flavor. No coordinates are
-// attached (the paper notes most FEM instances lack usable coordinates).
+// meshes (the paper's 598a, m14b, auto) have this flavor. Lattice-index 3D
+// coordinates are attached so geometric prepartitioning (RCB over the widest
+// of the three axes) applies instead of the index-range fallback.
 func Grid3D(x, y, z int) *graph.Graph {
 	b := graph.NewBuilder(x * y * z)
 	id := func(i, j, k int) int32 { return int32((i*y+j)*z + k) }
@@ -37,6 +38,7 @@ func Grid3D(x, y, z int) *graph.Graph {
 		for j := 0; j < y; j++ {
 			for k := 0; k < z; k++ {
 				v := id(i, j, k)
+				b.SetCoord3(v, float64(i), float64(j), float64(k))
 				if i+1 < x {
 					b.AddEdge(v, id(i+1, j, k), 1)
 				}

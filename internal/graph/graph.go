@@ -8,8 +8,9 @@
 // [0, n). Every undirected edge {u, v} is stored twice, once in each
 // direction; weights are int64 so that repeated contraction cannot overflow.
 //
-// Graphs may optionally carry 2D coordinates; the parallel coarsening phase
-// uses them for geometric prepartitioning (recursive coordinate bisection).
+// Graphs may optionally carry 2D or 3D coordinates; the parallel coarsening
+// phase uses them for geometric prepartitioning (recursive coordinate
+// bisection over the available dimensions).
 package graph
 
 import (
@@ -30,6 +31,7 @@ type Graph struct {
 	maxNodeWeight   int64
 
 	x, y []float64 // optional coordinates, len n or nil
+	z    []float64 // optional third dimension, len n or nil (only with x, y)
 }
 
 // NumNodes returns n, the number of nodes.
@@ -84,24 +86,75 @@ func (g *Graph) EdgeWeightTo(v, u int32) int64 {
 	return 0
 }
 
-// HasCoords reports whether the graph carries 2D coordinates.
+// HasCoords reports whether the graph carries coordinates (2D or 3D).
 func (g *Graph) HasCoords() bool { return g.x != nil }
 
-// Coord returns the coordinates of v; it panics if the graph has none.
+// CoordDims returns the number of coordinate dimensions: 0 (no coordinates),
+// 2, or 3.
+func (g *Graph) CoordDims() int {
+	switch {
+	case g.x == nil:
+		return 0
+	case g.z == nil:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Coord returns the first two coordinates of v; it panics if the graph has
+// none.
 func (g *Graph) Coord(v int32) (float64, float64) { return g.x[v], g.y[v] }
 
-// SetCoords attaches coordinates; both slices must have length n. The graph
-// keeps references to the slices.
+// Coord3 returns the coordinates of v with z = 0 for 2D graphs; it panics if
+// the graph has no coordinates.
+func (g *Graph) Coord3(v int32) (float64, float64, float64) {
+	if g.z == nil {
+		return g.x[v], g.y[v], 0
+	}
+	return g.x[v], g.y[v], g.z[v]
+}
+
+// SetCoords attaches 2D coordinates; both slices must have length n. The
+// graph keeps references to the slices. Any previous third dimension is
+// dropped.
 func (g *Graph) SetCoords(x, y []float64) {
 	if len(x) != g.NumNodes() || len(y) != g.NumNodes() {
 		panic("graph: coordinate slices must have length n")
 	}
-	g.x, g.y = x, y
+	g.x, g.y, g.z = x, y, nil
 }
 
-// Coords returns the coordinate slices (nil if absent). Callers must not
-// modify them.
+// SetCoords3 attaches 3D coordinates; all three slices must have length n.
+// The graph keeps references to the slices.
+func (g *Graph) SetCoords3(x, y, z []float64) {
+	if len(x) != g.NumNodes() || len(y) != g.NumNodes() || len(z) != g.NumNodes() {
+		panic("graph: coordinate slices must have length n")
+	}
+	g.x, g.y, g.z = x, y, z
+}
+
+// Coords returns the first two coordinate slices (nil if absent). Callers
+// must not modify them.
 func (g *Graph) Coords() ([]float64, []float64) { return g.x, g.y }
+
+// Coords3 returns all coordinate slices; z is nil for 2D graphs and all
+// three are nil without coordinates. Callers must not modify them.
+func (g *Graph) Coords3() ([]float64, []float64, []float64) { return g.x, g.y, g.z }
+
+// CoordSlices returns the non-nil coordinate slices in dimension order —
+// the input recursive coordinate bisection generalizes over. Empty without
+// coordinates.
+func (g *Graph) CoordSlices() [][]float64 {
+	switch g.CoordDims() {
+	case 3:
+		return [][]float64{g.x, g.y, g.z}
+	case 2:
+		return [][]float64{g.x, g.y}
+	default:
+		return nil
+	}
+}
 
 // FromCSR builds a graph directly from CSR arrays. The arrays are adopted,
 // not copied. nwgt may be nil for unit node weights. FromCSR validates the
@@ -183,13 +236,13 @@ func (g *Graph) Validate() error {
 // are merged by summing their weights; self loops are dropped. Builders are
 // not safe for concurrent use.
 type Builder struct {
-	n     int
-	nwgt  []int64
-	us    []int32
-	vs    []int32
-	ws    []int64
-	coord bool
-	x, y  []float64
+	n       int
+	nwgt    []int64
+	us      []int32
+	vs      []int32
+	ws      []int64
+	coord   bool
+	x, y, z []float64
 }
 
 // NewBuilder returns a builder for a graph with n nodes and unit node
@@ -205,8 +258,8 @@ func NewBuilder(n int) *Builder {
 // SetNodeWeight sets c(v).
 func (b *Builder) SetNodeWeight(v int32, w int64) { b.nwgt[v] = w }
 
-// SetCoord records coordinates for v; the first call switches the builder to
-// coordinate mode.
+// SetCoord records 2D coordinates for v; the first call switches the builder
+// to coordinate mode.
 func (b *Builder) SetCoord(v int32, x, y float64) {
 	if !b.coord {
 		b.coord = true
@@ -214,6 +267,17 @@ func (b *Builder) SetCoord(v int32, x, y float64) {
 		b.y = make([]float64, b.n)
 	}
 	b.x[v], b.y[v] = x, y
+}
+
+// SetCoord3 records 3D coordinates for v; the first call switches the
+// builder to 3D coordinate mode. Mixing SetCoord and SetCoord3 leaves z = 0
+// for the 2D calls.
+func (b *Builder) SetCoord3(v int32, x, y, z float64) {
+	b.SetCoord(v, x, y)
+	if b.z == nil {
+		b.z = make([]float64, b.n)
+	}
+	b.z[v] = z
 }
 
 // AddEdge records the undirected edge {u, v} with weight w. Self loops are
@@ -289,7 +353,11 @@ func (b *Builder) Build() *Graph {
 		panic("graph: builder produced invalid CSR: " + err.Error())
 	}
 	if b.coord {
-		g.SetCoords(b.x, b.y)
+		if b.z != nil {
+			g.SetCoords3(b.x, b.y, b.z)
+		} else {
+			g.SetCoords(b.x, b.y)
+		}
 	}
 	return g
 }

@@ -11,7 +11,7 @@ import (
 // Distributed computes a matching of a distributed graph the way §3 of the
 // paper prescribes: every PE runs the sequential algorithm on the internal
 // (owned–owned) edges of its own subgraph, then the PEs resolve the boundary
-// in iterated two-phase rounds over the Exchanger — each PE publishes the
+// in iterated two-phase rounds over the Transport — each PE publishes the
 // matching state of its boundary nodes to the PEs holding them as ghosts,
 // proposes its best eligible cut edges across the cut, and accepts exactly
 // the proposals that were mutual, with the deterministic tie-break on global
@@ -27,7 +27,7 @@ import (
 // and every cross-PE message sequence is schedule-independent, so the result
 // is byte-identical across runs — and across GOMAXPROCS settings — for a
 // fixed seed.
-func Distributed(sgs []*dist.Subgraph, ex *dist.Exchanger, rf rating.Func, alg Algorithm, seed uint64) []Matching {
+func Distributed(sgs []*dist.Subgraph, ex dist.Transport, rf rating.Func, alg Algorithm, seed uint64) []Matching {
 	return DistributedBounded(sgs, ex, rf, alg, seed, 0, true)
 }
 
@@ -36,7 +36,7 @@ func Distributed(sgs []*dist.Subgraph, ex *dist.Exchanger, rf rating.Func, alg A
 // false the PEs match only their internal edges (the distributed counterpart
 // of the no-gap-matching ablation) but still participate in the termination
 // votes so the superstep counts stay aligned.
-func DistributedBounded(sgs []*dist.Subgraph, ex *dist.Exchanger, rf rating.Func, alg Algorithm, seed uint64, maxPair int64, boundary bool) []Matching {
+func DistributedBounded(sgs []*dist.Subgraph, ex dist.Transport, rf rating.Func, alg Algorithm, seed uint64, maxPair int64, boundary bool) []Matching {
 	pes := len(sgs)
 	out := make([]Matching, pes)
 	var wg sync.WaitGroup
@@ -52,7 +52,7 @@ func DistributedBounded(sgs []*dist.Subgraph, ex *dist.Exchanger, rf rating.Func
 }
 
 // matchSubgraph is the per-PE worker of DistributedBounded.
-func matchSubgraph(sg *dist.Subgraph, ex *dist.Exchanger, rf rating.Func, alg Algorithm, seed uint64, maxPair int64, boundary bool, pe int) Matching {
+func matchSubgraph(sg *dist.Subgraph, ex dist.Transport, rf rating.Func, alg Algorithm, seed uint64, maxPair int64, boundary bool, pe int) Matching {
 	g := sg.Local
 	n := g.NumNodes()
 	owned := sg.NumOwned
@@ -111,7 +111,7 @@ func matchSubgraph(sg *dist.Subgraph, ex *dist.Exchanger, rf rating.Func, alg Al
 
 	// Phase 2: iterated boundary rounds. Every PE executes the same superstep
 	// sequence per round (state exchange, proposal exchange, termination
-	// vote) even when it owns no boundary nodes, so the Exchanger stays in
+	// vote) even when it owns no boundary nodes, so the Transport stays in
 	// lockstep across PEs — including PEs with empty subgraphs.
 	for round := 0; ; round++ {
 		// 2a: publish boundary state to the PEs holding each node as ghost.

@@ -13,11 +13,19 @@
 //	g := repro.RGG(15, 1)                     // 2^15-node random geometric graph
 //	cfg := repro.NewConfig(repro.Fast, 8)     // KaPPa-Fast, k = 8
 //	cfg.Seed = 42
-//	res := repro.Partition(g, cfg)
+//	res, err := repro.Run(context.Background(), g, cfg)
+//	if err != nil { ... }
 //	fmt.Println(res.Cut, res.Balance)
+//
+// Run is the primary entry point: it honors context cancellation, returns
+// errors instead of panicking, and accepts functional options — WithObserver
+// for typed progress events, WithTransport to swap the message-passing
+// backend of distributed coarsening. Partition and PartitionK are the legacy
+// wrappers (background context, panic on invalid configuration).
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/baseline"
@@ -59,12 +67,100 @@ func NewConfig(v Variant, k int) Config { return core.NewConfig(v, k) }
 // Result reports a finished partitioning run.
 type Result = core.Result
 
-// Partition runs the full KaPPa pipeline (parallel coarsening, initial
-// partitioning, parallel pairwise refinement) on g.
+// Run executes the full KaPPa pipeline (parallel coarsening, initial
+// partitioning, parallel pairwise refinement) on g — the primary entry
+// point. The context is checked between phases, before every contraction
+// level, and before every global refinement iteration, so cancellation
+// aborts promptly with ctx.Err(); invalid configurations come back as
+// ErrInvalidConfig-wrapped errors instead of panics. For a fixed cfg.Seed
+// the result is byte-identical to the legacy Partition wrapper.
+func Run(ctx context.Context, g *Graph, cfg Config, opts ...Option) (Result, error) {
+	return core.Run(ctx, g, cfg, opts...)
+}
+
+// Option configures a pipeline run; see WithObserver and WithTransport.
+type Option = core.Option
+
+// WithObserver attaches an Observer receiving the run's typed TraceEvents
+// (levels pushed, initial cut, per-iteration refinement gains, phase
+// timings) in pipeline order. Repeat the option to attach several.
+func WithObserver(o Observer) Option { return core.WithObserver(o) }
+
+// WithTransport routes every superstep of distributed coarsening
+// (Config.Coarsen = CoarsenDistributed) through t instead of the default
+// channel-backed Exchanger — the seam a future RPC or MPI backend plugs
+// into. t.PEs() must match the configured PE count.
+func WithTransport(t Transport) Option { return core.WithTransport(t) }
+
+// Observer receives TraceEvents during a Run; see WithObserver.
+type Observer = core.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = core.ObserverFunc
+
+// TraceEvent is a typed progress event; the concrete types are LevelEvent,
+// InitEvent, RefineEvent and PhaseEvent.
+type TraceEvent = core.TraceEvent
+
+// Trace event types.
+type (
+	// LevelEvent reports one pushed contraction level.
+	LevelEvent = core.LevelEvent
+	// InitEvent reports the initial partition of the coarsest graph.
+	InitEvent = core.InitEvent
+	// RefineEvent reports one global refinement iteration on one level.
+	RefineEvent = core.RefineEvent
+	// PhaseEvent reports a finished phase and its duration.
+	PhaseEvent = core.PhaseEvent
+)
+
+// Phase names a top-level pipeline stage in PhaseEvents.
+type Phase = core.Phase
+
+// Pipeline phases.
+const (
+	PhaseCoarsen = core.PhaseCoarsen
+	PhaseInit    = core.PhaseInit
+	PhaseRefine  = core.PhaseRefine
+	PhaseTotal   = core.PhaseTotal
+)
+
+// Timings is an Observer accumulating per-phase durations from PhaseEvents.
+type Timings = core.Timings
+
+// ErrInvalidConfig wraps every configuration error returned by Run:
+// errors.Is(err, repro.ErrInvalidConfig) distinguishes usage errors from
+// runtime failures.
+var ErrInvalidConfig = core.ErrInvalidConfig
+
+// Transport is the message-passing seam of distributed coarsening: the
+// bulk-synchronous superstep operations the PE-local contraction phase is
+// written against. NewExchanger returns the channel-backed in-process
+// default; NewLockstepTransport a mutex-based alternative; an RPC/MPI
+// backend implements the same three methods.
+type Transport = dist.Transport
+
+// Msg is one unit of ghost information exchanged between PEs over a
+// Transport; MsgKind tags its payload.
+type (
+	Msg     = dist.Msg
+	MsgKind = dist.MsgKind
+)
+
+// NewExchanger returns the default channel-backed Transport for pes PEs.
+func NewExchanger(pes int) Transport { return dist.NewExchanger(pes) }
+
+// NewLockstepTransport returns the barrier-based alternative Transport for
+// pes PEs (same results, different machinery — the drop-in proof).
+func NewLockstepTransport(pes int) Transport { return dist.NewLockstepTransport(pes) }
+
+// Partition runs the full KaPPa pipeline on g. Legacy wrapper over Run:
+// background context, panics on invalid configuration.
 func Partition(g *Graph, cfg Config) Result { return core.Partition(g, cfg) }
 
 // PartitionK partitions g into k blocks with the Fast preset and 3% allowed
-// imbalance — the everyday entry point.
+// imbalance — the everyday legacy entry point (see Run for the
+// error-returning API).
 func PartitionK(g *Graph, k int, seed uint64) Result {
 	cfg := core.NewConfig(core.Fast, k)
 	cfg.Seed = seed
@@ -76,6 +172,13 @@ func PartitionK(g *Graph, k int, seed uint64) Result {
 // section); it returns the refined blocks and their cut.
 func RefineExisting(g *Graph, cfg Config, blocks []int32) ([]int32, int64) {
 	return core.RefineExisting(g, cfg, blocks)
+}
+
+// RefineExistingCtx is RefineExisting under the Run error contract:
+// context-aware, error-returning, with optional observers for the
+// refinement trace events.
+func RefineExistingCtx(ctx context.Context, g *Graph, cfg Config, blocks []int32, opts ...Option) ([]int32, int64, error) {
+	return core.RefineExistingCtx(ctx, g, cfg, blocks, opts...)
 }
 
 // EvolveResult reports an evolutionary multistart run.

@@ -2,6 +2,8 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -72,5 +74,51 @@ func TestFacadePresets(t *testing.T) {
 		if _, _, feasible := Evaluate(g, 4, cfg.Eps, res.Blocks); !feasible {
 			t.Errorf("%v: infeasible", v)
 		}
+	}
+}
+
+// TestRunMatchesLegacyPartition is the compatibility contract of the new
+// pipeline entry point: for a fixed seed, repro.Run must produce Blocks
+// byte-identical to legacy repro.Partition across the benchmark generator
+// families and both coarsening modes.
+func TestRunMatchesLegacyPartition(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"rgg", RGG(11, 6)},
+		{"delaunay", DelaunayX(10, 2)},
+		{"grid3d", Grid3D(12, 12, 6)},
+		{"road", Road(6000, 6, 3)},
+		{"social", PrefAttach(4000, 5, 9)},
+	}
+	for _, tc := range cases {
+		for _, mode := range []CoarsenMode{CoarsenShared, CoarsenDistributed} {
+			cfg := NewConfig(Fast, 8)
+			cfg.Seed = 4242
+			cfg.Coarsen = mode
+			legacy := Partition(tc.g, cfg)
+			res, err := Run(context.Background(), tc.g, cfg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", tc.name, mode, err)
+			}
+			if res.Cut != legacy.Cut {
+				t.Fatalf("%s/%v: Run cut %d != Partition cut %d", tc.name, mode, res.Cut, legacy.Cut)
+			}
+			for v := range legacy.Blocks {
+				if res.Blocks[v] != legacy.Blocks[v] {
+					t.Fatalf("%s/%v: block of node %d differs", tc.name, mode, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRunErrorsOnBadConfig pins the facade's error contract.
+func TestRunErrorsOnBadConfig(t *testing.T) {
+	g := Grid2D(8, 8)
+	cfg := NewConfig(Fast, 0) // K = 0 is invalid
+	if _, err := Run(context.Background(), g, cfg); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("got %v, want ErrInvalidConfig", err)
 	}
 }

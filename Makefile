@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test check docs fmt bench examples race
+.PHONY: all vet build test check docs fmt bench bench-smoke bench-json examples race
 
 all: check
 
@@ -26,6 +26,18 @@ docs: fmt vet
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-smoke is the CI guard for the perf benchmarks: one iteration of the
+# Table1/Table2 suites with allocation tracking, so they cannot rot.
+bench-smoke:
+	$(GO) test -bench='Table1|Table2' -benchtime=1x -benchmem -run=^$$ .
+
+# bench-json measures the smoke benchmarks (Table1/Table2 + end-to-end
+# Partition per family) with -benchmem semantics and writes the perf
+# trajectory artifact, pairing each number with the recorded pre-PR4
+# baseline. Commit the refreshed BENCH_PR4.json alongside perf changes.
+bench-json:
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR4_baseline.json -out BENCH_PR4.json
 
 # examples builds and runs every examples/* program end to end (CI runs
 # this too, so the example code can never rot).

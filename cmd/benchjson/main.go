@@ -1,0 +1,145 @@
+// Command benchjson measures the repository's smoke benchmarks with
+// allocation tracking and records the results as JSON — the perf trajectory
+// of the repo (BENCH_PR4.json and successors), so performance work is driven
+// by recorded numbers instead of recollection.
+//
+//	go run ./cmd/benchjson -out BENCH_PR4.json -baseline BENCH_PR4_baseline.json
+//
+// The measured workloads mirror the `go test -bench 'Table1|Table2'` smoke
+// benchmarks plus the end-to-end Partition benchmarks on one instance per
+// family (the coarsening-dominated cases perf PRs target). The -baseline
+// flag attaches the recorded numbers of a previous measurement file to each
+// benchmark, so the committed JSON carries the before/after pair.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mem"
+)
+
+// Record is one measured benchmark configuration.
+type Record struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Entry pairs a benchmark's current measurement with an optional recorded
+// baseline.
+type Entry struct {
+	Name     string  `json:"name"`
+	Baseline *Record `json:"baseline,omitempty"`
+	Current  Record  `json:"current"`
+}
+
+// File is the schema of the committed BENCH_*.json artifacts.
+type File struct {
+	Note       string  `json:"note"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func measure(name string, f func()) Entry {
+	// Warm once outside the measurement, like `go test -bench`'s N=1 probe:
+	// one-time costs (the lazily generated, cached benchmark instances)
+	// otherwise land in the recorded numbers.
+	f()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	e := Entry{Name: name, Current: Record{
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}}
+	fmt.Fprintf(os.Stderr, "%-22s %12d ns/op %12d B/op %8d allocs/op\n",
+		name, e.Current.NsPerOp, e.Current.BytesPerOp, e.Current.AllocsPerOp)
+	return e
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	baseFile := flag.String("baseline", "", "attach the 'current' numbers of this previous report as per-benchmark baselines")
+	note := flag.String("note", "smoke benchmarks (Table1/Table2 + end-to-end Partition per family), single machine, go test -benchmem semantics", "note stored in the report")
+	flag.Parse()
+
+	smoke := bench.Options{Reps: 1, Ks: []int{8}, MaxInstances: 2}
+	entries := []Entry{
+		measure("Table1", func() { bench.Table1(io.Discard) }),
+		measure("Table2", func() { bench.Table2(io.Discard, smoke) }),
+	}
+	// End-to-end Partition on one instance per family, KaPPa-Fast, k=16 —
+	// the coarsening-dominated cases. The arena is shared across iterations
+	// the way bench.RunKaPPa and a serving deployment share it.
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"Partition/rgg14", gen.RGG(14, 1)},
+		{"Partition/delaunay14", gen.DelaunayX(14, 2)},
+		{"Partition/road20k", gen.Road(20000, 8, 3)},
+		{"Partition/social16k", gen.PrefAttach(16384, 5, 4)},
+	}
+	for _, c := range cases {
+		arena := mem.NewArena()
+		seed := uint64(0)
+		entries = append(entries, measure(c.name, func() {
+			cfg := core.NewConfig(core.Fast, 16)
+			cfg.Seed = seed
+			seed++
+			if _, err := core.Run(nil, c.g, cfg, core.WithArena(arena)); err != nil {
+				panic(err)
+			}
+		}))
+	}
+
+	if *baseFile != "" {
+		raw, err := os.ReadFile(*baseFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base File
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		byName := make(map[string]Record, len(base.Benchmarks))
+		for _, e := range base.Benchmarks {
+			byName[e.Name] = e.Current
+		}
+		for i := range entries {
+			if r, ok := byName[entries[i].Name]; ok {
+				rc := r
+				entries[i].Baseline = &rc
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(File{Note: *note, Benchmarks: entries}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

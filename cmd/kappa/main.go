@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -30,10 +32,17 @@ import (
 	"repro/internal/part"
 )
 
+// stopProfiles flushes any active pprof output; it must run before every
+// exit path, including failures — os.Exit skips defers, and a truncated CPU
+// profile on a timed-out run is useless in exactly the situation the flag
+// exists for.
+var stopProfiles = func() {}
+
 // fail prints the message and exits: usage and configuration errors exit 2
 // (the Unix convention flag.Parse also follows), runtime errors exit 1.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "kappa:", err)
+	stopProfiles()
 	if errors.Is(err, core.ErrInvalidConfig) {
 		os.Exit(2)
 	}
@@ -55,8 +64,50 @@ func main() {
 		eval     = flag.String("eval", "", "evaluate (and refine) an existing partition file instead of partitioning from scratch")
 		progress = flag.Bool("progress", false, "print pipeline trace events (levels, init cut, refinement gains, phase times) to stderr")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s); 0 = no limit")
+		workers  = flag.Int("workers", 0, "goroutines for the data-parallel kernels (parallel contraction); 0 = GOMAXPROCS, 1 = serial. Results are identical for every value")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the run, post-GC) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" || *memProf != "" {
+		var cpuFile *os.File
+		if *cpuProf != "" {
+			f, err := os.Create(*cpuProf)
+			if err != nil {
+				fail(err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fail(err)
+			}
+			cpuFile = f
+		}
+		memPath := *memProf
+		done := false
+		stopProfiles = func() {
+			if done {
+				return
+			}
+			done = true
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "kappa:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // report live allocations, not garbage
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "kappa:", err)
+				}
+			}
+		}
+		defer stopProfiles()
+	}
 
 	g, err := loadGraph(*inFile, *genSpec)
 	if err != nil {
@@ -77,6 +128,7 @@ func main() {
 	cfg.Eps = *eps
 	cfg.Seed = *seed
 	cfg.PEs = *pes
+	cfg.Workers = *workers
 	strategy, err := dist.ParseStrategy(*distFl)
 	if err != nil {
 		fail(fmt.Errorf("%w: %v", core.ErrInvalidConfig, err))
@@ -179,8 +231,7 @@ func readPartition(path string, n int) ([]int32, error) {
 func writePartition(path string, blocks []int32) {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kappa:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	w := bufio.NewWriter(f)
 	for _, b := range blocks {

@@ -9,12 +9,36 @@
 // through the local↔global id maps and a few ghost-exchange supersteps —
 // producing a coarse graph with exactly the same coarse node groups and edge
 // weights as a shared-memory contraction of the same matching.
+//
+// The shared contraction is the two-pass scheme of §5.2's static-array
+// philosophy: a count pass sizes the coarse CSR exactly (prefix sums become
+// xadj), then a fill pass writes every coarse half-edge into its final slot,
+// merging parallel edges with a per-worker scatter array. Both passes
+// process each coarse node independently, so they parallelize over disjoint
+// coarse-id ranges with no synchronization beyond two barriers — and because
+// every worker handles its coarse nodes in exactly the order the serial loop
+// would, the resulting graph is byte-identical for any worker count.
 package coarsen
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/mem"
 )
+
+// Options tunes ContractWith. The zero value reproduces Contract: one
+// worker, no buffer reuse.
+type Options struct {
+	// Workers is the number of goroutines for the count and fill passes;
+	// values < 2 run the passes inline. The result is byte-identical for
+	// every worker count.
+	Workers int
+	// Arena supplies the reusable scratch buffers (member lists, scatter
+	// arrays); nil falls back to fresh allocations.
+	Arena *mem.Arena
+}
 
 // Contract contracts every matched edge of m in g. It returns the coarse
 // graph and the mapping fine node → coarse node. Contracting {u,v} forms a
@@ -22,7 +46,17 @@ import (
 // their weights (§2). Coordinates, when present, are carried over as the
 // weighted midpoint of the contracted pair.
 func Contract(g *graph.Graph, m matching.Matching) (*graph.Graph, []int32) {
+	return ContractWith(g, m, Options{})
+}
+
+// ContractWith is Contract with explicit worker count and scratch arena; see
+// Options.
+func ContractWith(g *graph.Graph, m matching.Matching, opt Options) (*graph.Graph, []int32) {
 	n := g.NumNodes()
+	a := opt.Arena
+
+	// The mapping persists in the Hierarchy, so it is always a fresh
+	// allocation; only true temporaries come from the arena.
 	fine2coarse := make([]int32, n)
 	nc := int32(0)
 	for v := int32(0); v < int32(n); v++ {
@@ -38,19 +72,22 @@ func Contract(g *graph.Graph, m matching.Matching) (*graph.Graph, []int32) {
 		}
 	}
 
-	// Count an upper bound of coarse half-edges to size the arrays, then
-	// build coarse adjacency with a scatter array for duplicate merging.
+	// Coarse node weights (persist with the coarse graph).
 	nwgt := make([]int64, nc)
 	for v := int32(0); v < int32(n); v++ {
 		nwgt[fine2coarse[v]] += g.NodeWeight(v)
 	}
-	xadj := make([]int32, nc+1)
-	adj := make([]int32, 0, 2*g.NumEdges())
-	ewgt := make([]int64, 0, 2*g.NumEdges())
+	var maxNW int64
+	for _, w := range nwgt {
+		if w > maxNW {
+			maxNW = w
+		}
+	}
 
-	// members[c] lists the one or two fine nodes of coarse node c.
-	memberHead := make([]int32, nc)
-	memberNext := make([]int32, n)
+	// members[c] lists the one or two fine nodes of coarse node c, in
+	// ascending fine order (the order the fill pass must follow).
+	memberHead := a.Int32(int(nc))
+	memberNext := a.Int32(n)
 	for c := range memberHead {
 		memberHead[c] = -1
 	}
@@ -60,70 +97,192 @@ func Contract(g *graph.Graph, m matching.Matching) (*graph.Graph, []int32) {
 		memberHead[c] = v
 	}
 
-	pos := make([]int32, nc) // scatter: coarse neighbor -> index in current segment, stamped
-	stamp := make([]int32, nc)
-	for i := range pos {
-		stamp[i] = -1
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	if int32(workers) > nc {
+		workers = int(nc)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Split [0, nc) into ranges balanced by the fine degree sum each coarse
+	// node drags through the passes (equal id ranges would let one hub-heavy
+	// range serialize the level on social graphs).
+	bounds := coarseRanges(g, memberHead, memberNext, nc, workers)
+
+	xadj := make([]int32, nc+1) // persists
+
+	// ---- Pass 1: count distinct coarse neighbors per coarse node ----
+	// needPos: only the fill pass uses the scatter-position array; the
+	// count pass skips that borrow.
+	runPass := func(needPos bool, pass func(lo, hi int32, stamp, pos []int32)) {
+		worker := func(lo, hi int32) {
+			stamp := a.Int32(int(nc))
+			var pos []int32
+			if needPos {
+				pos = a.Int32(int(nc))
+			}
+			pass(lo, hi, stamp, pos)
+			if needPos {
+				a.PutInt32(pos)
+			}
+			a.PutInt32(stamp)
+		}
+		if workers == 1 {
+			worker(0, nc)
+			return
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(lo, hi int32) {
+				defer wg.Done()
+				worker(lo, hi)
+			}(bounds[w], bounds[w+1])
+		}
+		wg.Wait()
+	}
+
+	runPass(false, func(lo, hi int32, stamp, _ []int32) {
+		clear(stamp) // arena contents are undefined; 0 never matches c+1
+		for c := lo; c < hi; c++ {
+			cnt := int32(0)
+			for v := memberHead[c]; v >= 0; v = memberNext[v] {
+				for _, u := range g.Adj(v) {
+					cu := fine2coarse[u]
+					if cu == c {
+						continue // contracted or internal edge vanishes
+					}
+					if stamp[cu] != c+1 {
+						stamp[cu] = c + 1
+						cnt++
+					}
+				}
+			}
+			xadj[c+1] = cnt
+		}
+	})
 	for c := int32(0); c < nc; c++ {
-		segStart := int32(len(adj))
-		for v := memberHead[c]; v >= 0; v = memberNext[v] {
-			fadj := g.Adj(v)
-			fw := g.AdjWeights(v)
-			for i, u := range fadj {
-				cu := fine2coarse[u]
-				if cu == c {
-					continue // contracted or internal edge vanishes
-				}
-				if stamp[cu] == c+1 {
-					ewgt[pos[cu]] += fw[i]
-				} else {
-					stamp[cu] = c + 1
-					pos[cu] = int32(len(adj))
-					adj = append(adj, cu)
-					ewgt = append(ewgt, fw[i])
+		xadj[c+1] += xadj[c]
+	}
+
+	// Exactly-sized coarse CSR (persists) plus the weighted degrees the fill
+	// pass computes for free while merging edge weights.
+	adj := make([]int32, xadj[nc])
+	ewgt := make([]int64, xadj[nc])
+	wdeg := make([]int64, nc)
+
+	// ---- Pass 2: fill each coarse node's segment in first-encounter order ----
+	runPass(true, func(lo, hi int32, stamp, pos []int32) {
+		clear(stamp)
+		for c := lo; c < hi; c++ {
+			next := xadj[c]
+			for v := memberHead[c]; v >= 0; v = memberNext[v] {
+				fadj := g.Adj(v)
+				fw := g.AdjWeights(v)
+				for i, u := range fadj {
+					cu := fine2coarse[u]
+					if cu == c {
+						continue
+					}
+					if stamp[cu] == c+1 {
+						ewgt[pos[cu]] += fw[i]
+					} else {
+						stamp[cu] = c + 1
+						pos[cu] = next
+						adj[next] = cu
+						ewgt[next] = fw[i]
+						next++
+					}
 				}
 			}
+			var s int64
+			for _, w := range ewgt[xadj[c]:next] {
+				s += w
+			}
+			wdeg[c] = s
 		}
-		_ = segStart
-		xadj[c+1] = int32(len(adj))
+	})
+
+	a.PutInt32(memberHead)
+	a.PutInt32(memberNext)
+
+	var totalEW int64
+	for _, s := range wdeg {
+		totalEW += s
 	}
-	cg, err := graph.FromCSR(xadj, adj, ewgt, nwgt)
-	if err != nil {
-		panic("coarsen: contraction produced invalid graph: " + err.Error())
-	}
+	cg := graph.FromCSRUnchecked(xadj, adj, ewgt, nwgt,
+		g.TotalNodeWeight(), totalEW/2, maxNW)
+	cg.SetWeightedDegrees(wdeg)
+
 	if g.HasCoords() {
-		fx, fy, fz := g.Coords3()
-		cx := make([]float64, nc)
-		cy := make([]float64, nc)
-		var cz []float64
-		if fz != nil {
-			cz = make([]float64, nc)
-		}
-		cnt := make([]float64, nc)
-		for v := int32(0); v < int32(n); v++ {
-			c := fine2coarse[v]
-			cx[c] += fx[v]
-			cy[c] += fy[v]
-			if fz != nil {
-				cz[c] += fz[v]
-			}
-			cnt[c]++
-		}
-		for c := int32(0); c < nc; c++ {
-			cx[c] /= cnt[c]
-			cy[c] /= cnt[c]
-			if fz != nil {
-				cz[c] /= cnt[c]
-			}
-		}
-		if fz != nil {
-			cg.SetCoords3(cx, cy, cz)
-		} else {
-			cg.SetCoords(cx, cy)
-		}
+		contractCoords(g, fine2coarse, nc, cg)
 	}
 	return cg, fine2coarse
+}
+
+// coarseRanges returns workers+1 boundaries over [0, nc], balancing the
+// summed fine degrees of each range's coarse members.
+func coarseRanges(g *graph.Graph, memberHead, memberNext []int32, nc int32, workers int) []int32 {
+	bounds := make([]int32, workers+1)
+	bounds[workers] = nc
+	if workers == 1 {
+		return bounds
+	}
+	totalDeg := 2 * int64(g.NumEdges()) // Σ_v deg(v) in CSR
+	var acc int64
+	next := 1
+	for c := int32(0); c < nc && next < workers; c++ {
+		for v := memberHead[c]; v >= 0; v = memberNext[v] {
+			acc += int64(g.Degree(v))
+		}
+		if acc >= totalDeg*int64(next)/int64(workers) {
+			bounds[next] = c + 1
+			next++
+		}
+	}
+	for ; next < workers; next++ {
+		bounds[next] = nc
+	}
+	return bounds
+}
+
+// contractCoords carries coordinates to the coarse graph as per-group means,
+// accumulating in ascending fine order per coarse node — the same additions
+// in the same order as a serial scan over fine nodes.
+func contractCoords(g *graph.Graph, fine2coarse []int32, nc int32, cg *graph.Graph) {
+	fx, fy, fz := g.Coords3()
+	cx := make([]float64, nc)
+	cy := make([]float64, nc)
+	var cz []float64
+	if fz != nil {
+		cz = make([]float64, nc)
+	}
+	cnt := make([]float64, nc)
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		c := fine2coarse[v]
+		cx[c] += fx[v]
+		cy[c] += fy[v]
+		if fz != nil {
+			cz[c] += fz[v]
+		}
+		cnt[c]++
+	}
+	for c := int32(0); c < nc; c++ {
+		cx[c] /= cnt[c]
+		cy[c] /= cnt[c]
+		if fz != nil {
+			cz[c] /= cnt[c]
+		}
+	}
+	if fz != nil {
+		cg.SetCoords3(cx, cy, cz)
+	} else {
+		cg.SetCoords(cx, cy)
+	}
 }
 
 // Level is one step of the hierarchy: Fine is the graph before contraction
@@ -159,10 +318,20 @@ func (h *Hierarchy) Depth() int { return len(h.Levels) }
 // Levels[li]) to the fine side: fine node v gets the block of its coarse
 // image. li == Depth()-1 corresponds to lifting from the Coarsest graph.
 func (h *Hierarchy) Project(li int, coarsePart []int32) []int32 {
+	fine := make([]int32, h.Levels[li].Fine.NumNodes())
+	h.ProjectInto(li, coarsePart, fine)
+	return fine
+}
+
+// ProjectInto is Project writing into a caller-provided slice of length
+// Levels[li].Fine.NumNodes() — the allocation-free variant the refinement
+// phase uses with ping-ponged arena buffers.
+func (h *Hierarchy) ProjectInto(li int, coarsePart, fine []int32) {
 	lv := h.Levels[li]
-	fine := make([]int32, lv.Fine.NumNodes())
+	if len(fine) != lv.Fine.NumNodes() {
+		panic("coarsen: ProjectInto destination has wrong length")
+	}
 	for v := range fine {
 		fine[v] = coarsePart[lv.Map[v]]
 	}
-	return fine
 }

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/dist"
@@ -115,6 +116,13 @@ type Config struct {
 	// coarsening. The paper identifies PEs with blocks; 0 means K.
 	PEs int
 
+	// Workers is the goroutine count of the data-parallel kernels (the
+	// two-pass contraction's count and fill passes). 0 means GOMAXPROCS; 1
+	// runs the kernels inline. Because the parallel passes process every
+	// coarse node in exactly the serial order, results are byte-identical
+	// for every Workers value — the knob trades cores for wall-clock only.
+	Workers int
+
 	Seed uint64
 }
 
@@ -204,6 +212,9 @@ func (c *Config) Validate() error {
 	if c.LocalIter < 1 {
 		return fmt.Errorf("core: LocalIter must be >= 1, got %d", c.LocalIter)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
+	}
 	return nil
 }
 
@@ -212,4 +223,11 @@ func (c *Config) pes() int {
 		return c.PEs
 	}
 	return c.K
+}
+
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/initpart"
 	"repro/internal/matching"
+	"repro/internal/mem"
 	"repro/internal/part"
 	"repro/internal/rating"
 	"repro/internal/refine"
@@ -43,39 +44,49 @@ func Partition(g *graph.Graph, cfg Config) Result {
 
 // sharedLevel performs one contraction level on the shared global graph:
 // parallel (or, with one PE, sequential) matching followed by a global
-// contraction. blocks is the node-to-PE assignment of the Distributor stage
-// (unused with one PE). Returns (nil, nil) when the matching comes out
-// empty.
-func sharedLevel(cur *graph.Graph, cfg *Config, blocks []int32, pes, level int, maxPair int64) (*graph.Graph, []int32) {
+// two-pass contraction, both drawing scratch from a. It reports the
+// wall-clock of each kernel for the level's LevelEvent. Returns (nil, nil,
+// ...) when the matching comes out empty.
+func sharedLevel(cur *graph.Graph, cfg *Config, blocks []int32, pes, level int, maxPair int64, a *mem.Arena) (*graph.Graph, []int32, time.Duration, time.Duration) {
+	tm := time.Now()
 	rt := rating.NewRater(cfg.Rating, cur)
 	var m matching.Matching
 	if pes > 1 {
 		// The prepartition (§3.3) localizes matching work onto PEs; the
 		// strategy does not influence the final partition directly.
 		if cfg.GapMatching {
-			m = matching.ParallelBounded(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
+			m = matching.ParallelScratch(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair, a)
 		} else {
-			m = parallelNoGap(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair)
+			m = parallelNoGap(cur, rt, cfg.Matcher, blocks, pes, cfg.Seed+uint64(level)*101, maxPair, a)
 		}
 	} else {
-		m = matching.ComputeBounded(cur, rt, cfg.Matcher, rng.NewStream(cfg.Seed, uint64(level)), maxPair)
+		m = matching.ComputeScratch(cur, rt, cfg.Matcher, rng.NewStream(cfg.Seed, uint64(level)), maxPair, a)
 	}
+	matchT := time.Since(tm)
 	if m.Size() == 0 {
-		return nil, nil
+		a.PutInt32([]int32(m))
+		return nil, nil, matchT, 0
 	}
-	return coarsen.Contract(cur, m)
+	tc := time.Now()
+	cg, f2c := coarsen.ContractWith(cur, m, coarsen.Options{Workers: cfg.workers(), Arena: a})
+	a.PutInt32([]int32(m))
+	return cg, f2c, matchT, time.Since(tc)
 }
 
 // distributedLevel performs one contraction level PE-locally (§3): extract
 // per-PE subgraphs with ghost layers, match each subgraph's internal edges
 // sequentially, resolve the boundary by mutual proposals over the Transport
 // supersteps, contract every subgraph locally, and stitch the coarse
-// subgraphs back into the next-level global graph. Returns (nil, nil) when
-// the matching comes out empty.
-func distributedLevel(cur *graph.Graph, cfg *Config, blocks []int32, t dist.Transport, pes, level int, maxPair int64) (*graph.Graph, []int32) {
+// subgraphs back into the next-level global graph. It reports the matching
+// and contraction kernel times (extraction counts toward matching, the way
+// the paper accounts the ghost setup). Returns (nil, nil, ...) when the
+// matching comes out empty.
+func distributedLevel(cur *graph.Graph, cfg *Config, blocks []int32, t dist.Transport, pes, level int, maxPair int64) (*graph.Graph, []int32, time.Duration, time.Duration) {
+	tm := time.Now()
 	sgs := dist.ExtractAll(cur, blocks, pes)
 	ms := matching.DistributedBounded(sgs, t, cfg.Rating, cfg.Matcher,
 		cfg.Seed+uint64(level)*101, maxPair, cfg.GapMatching)
+	matchT := time.Since(tm)
 	matched := false
 	for _, m := range ms {
 		if m.Size() > 0 {
@@ -84,19 +95,21 @@ func distributedLevel(cur *graph.Graph, cfg *Config, blocks []int32, t dist.Tran
 		}
 	}
 	if !matched {
-		return nil, nil
+		return nil, nil, matchT, 0
 	}
-	return coarsen.ContractDistributed(cur, sgs, ms, t)
+	tc := time.Now()
+	cg, f2c := coarsen.ContractDistributed(cur, sgs, ms, t)
+	return cg, f2c, matchT, time.Since(tc)
 }
 
 // parallelNoGap is the ablation variant of parallel matching: local
 // matchings only, no gap-graph phase (cross-PE edges are never matched).
-func parallelNoGap(g *graph.Graph, rt *rating.Rater, alg matching.Algorithm, blocks []int32, pes int, seed uint64, maxPair int64) matching.Matching {
+func parallelNoGap(g *graph.Graph, rt *rating.Rater, alg matching.Algorithm, blocks []int32, pes int, seed uint64, maxPair int64, a *mem.Arena) matching.Matching {
 	// Restrict the graph to intra-block edges by running the parallel
 	// matcher with an empty gap phase: equivalent to giving every cross
 	// edge a rating below any local match. We reuse Parallel but strip
 	// cross-block pairs afterwards (they can only come from the gap phase).
-	m := matching.ParallelBounded(g, rt, alg, blocks, pes, seed, maxPair)
+	m := matching.ParallelScratch(g, rt, alg, blocks, pes, seed, maxPair, a)
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		if u := m[v]; u >= 0 && blocks[u] != blocks[v] {
 			m[v], m[u] = -1, -1
@@ -139,18 +152,24 @@ func refineLevel(ctx context.Context, p *part.Partition, cfg *Config, levelSeed 
 				continue
 			}
 			// Disjoint pairs refine concurrently; all reads of foreign
-			// blocks go through a snapshot taken before the round.
-			view := append([]int32(nil), p.Block...)
-			gains := make([]int64, len(class))
+			// blocks go through a snapshot taken before the round. The
+			// snapshot and per-pair gain table are arena scratch; each
+			// goroutine checks a reusable FM workspace out of the run's
+			// pool.
+			view := env.Arena.Int32(len(p.Block))
+			copy(view, p.Block)
+			gains := env.Arena.Int64(len(class))
 			var wg sync.WaitGroup
 			for i, e := range class {
 				wg.Add(1)
 				go func(i int, a, b int32) {
 					defer wg.Done()
+					ws := env.getWorkspace()
+					defer env.putWorkspace(ws)
 					base := cfg.Seed ^ levelSeed<<32 ^ uint64(global)<<16 ^ uint64(round)<<8 ^ uint64(a)<<24 ^ uint64(b)
 					var gain int64
 					for li := 0; li < cfg.LocalIter; li++ {
-						out := refine.RefinePairView(p, view, a, b, cfg2,
+						out := refine.RefinePairViewWS(ws, p, view, a, b, cfg2,
 							splitSeed(base, uint64(2*li)), splitSeed(base, uint64(2*li+1)))
 						gain += out.Gain
 						if out.Gain <= 0 {
@@ -164,6 +183,8 @@ func refineLevel(ctx context.Context, p *part.Partition, cfg *Config, levelSeed 
 			for _, gv := range gains {
 				totalGain += gv
 			}
+			env.Arena.PutInt64(gains)
+			env.Arena.PutInt32(view)
 		}
 		env.Emit(RefineEvent{Level: level, Iteration: global, Gain: totalGain})
 		if totalGain > 0 {

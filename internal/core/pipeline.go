@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/coarsen"
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/mem"
 	"repro/internal/part"
 	"repro/internal/refine"
 	"repro/internal/rng"
@@ -49,17 +51,34 @@ type Refiner interface {
 }
 
 // Env is what the Pipeline hands every stage besides the graph and config:
-// the cross-stage collaborators (node distributor, message transport) and
-// the trace sink.
+// the cross-stage collaborators (node distributor, message transport, the
+// run's scratch arena) and the trace sink.
 type Env struct {
 	Distributor Distributor
 	// Transport carries the superstep messages of distributed coarsening.
 	// nil means one channel-backed dist.Exchanger per contraction level —
 	// the in-process default.
 	Transport dist.Transport
+	// Arena is the run's scratch arena: every level of coarsening and every
+	// refinement round borrows its temporaries here, so the V-cycle
+	// allocates its working set once at the finest level and reuses it all
+	// the way down and back up. nil degrades to fresh allocations.
+	Arena *mem.Arena
 
 	observers []Observer
+	refineWS  sync.Pool // *refine.Workspace, reused across pairs/levels/iterations
 }
+
+// getWorkspace borrows a refinement workspace from the run's pool.
+func (e *Env) getWorkspace() *refine.Workspace {
+	if ws, ok := e.refineWS.Get().(*refine.Workspace); ok {
+		return ws
+	}
+	return refine.NewWorkspace()
+}
+
+// putWorkspace returns a workspace borrowed with getWorkspace.
+func (e *Env) putWorkspace(ws *refine.Workspace) { e.refineWS.Put(ws) }
 
 // Emit delivers ev to every attached Observer, in attachment order.
 func (e *Env) Emit(ev TraceEvent) {
@@ -94,6 +113,12 @@ type Pipeline struct {
 	Refiner     Refiner
 	Transport   dist.Transport
 	Observers   []Observer
+	// Arena is the scratch arena runs draw their temporaries from. nil
+	// gives every Run a private arena; setting one (WithArena) lets
+	// repeated runs — benchmark repetitions, a partitioning service —
+	// reuse the same backing buffers across runs. Arenas are safe for
+	// concurrent use, including concurrent Runs.
+	Arena *mem.Arena
 }
 
 // Option configures a Pipeline.
@@ -110,6 +135,15 @@ func WithObserver(o Observer) Option {
 // configured PE count; Run rejects a mismatch as ErrInvalidConfig.
 func WithTransport(t dist.Transport) Option {
 	return func(p *Pipeline) { p.Transport = t }
+}
+
+// WithArena makes runs draw their scratch buffers (matching candidate
+// arrays, contraction member lists and scatter arrays, refinement bands and
+// projection ping-pong buffers) from a instead of a run-private arena, so
+// repeated runs reuse one working set. Results are byte-identical with and
+// without a shared arena.
+func WithArena(a *mem.Arena) Option {
+	return func(p *Pipeline) { p.Arena = a }
 }
 
 // WithDistributor replaces the node-to-PE prepartitioning stage.
@@ -168,9 +202,14 @@ func (pl *Pipeline) Run(ctx context.Context, g *graph.Graph, cfg Config) (Result
 		return Result{}, fmt.Errorf("%w: transport connects %d PEs, configuration uses %d",
 			ErrInvalidConfig, pl.Transport.PEs(), cfg.pes())
 	}
+	arena := pl.Arena
+	if arena == nil {
+		arena = mem.NewArena()
+	}
 	env := &Env{
 		Distributor: pl.Distributor,
 		Transport:   pl.Transport,
+		Arena:       arena,
 		observers:   pl.Observers,
 	}
 	if env.Distributor == nil {
@@ -289,10 +328,11 @@ func (matchingCoarsener) Coarsen(ctx context.Context, g *graph.Graph, cfg *Confi
 		}
 		var cg *graph.Graph
 		var f2c []int32
+		var matchT, contractT time.Duration
 		if pes > 1 && cfg.Coarsen == CoarsenDistributed {
-			cg, f2c = distributedLevel(cur, cfg, blocks, env.transportFor(pes), pes, level, maxPair)
+			cg, f2c, matchT, contractT = distributedLevel(cur, cfg, blocks, env.transportFor(pes), pes, level, maxPair)
 		} else {
-			cg, f2c = sharedLevel(cur, cfg, blocks, pes, level, maxPair)
+			cg, f2c, matchT, contractT = sharedLevel(cur, cfg, blocks, pes, level, maxPair, env.Arena)
 		}
 		if cg == nil {
 			break // empty matching: the graph cannot shrink further
@@ -304,10 +344,12 @@ func (matchingCoarsener) Coarsen(ctx context.Context, g *graph.Graph, cfg *Confi
 		}
 		h.Push(cg, f2c)
 		env.Emit(LevelEvent{
-			Level: h.Depth(),
-			Nodes: cg.NumNodes(),
-			Edges: cg.NumEdges(),
-			Time:  time.Since(tl),
+			Level:    h.Depth(),
+			Nodes:    cg.NumNodes(),
+			Edges:    cg.NumEdges(),
+			Time:     time.Since(tl),
+			Match:    matchT,
+			Contract: contractT,
 		})
 	}
 	return h, nil
@@ -335,9 +377,27 @@ func (pairwiseRefiner) Refine(ctx context.Context, h *coarsen.Hierarchy, initial
 	if err := refineLevel(ctx, p, cfg, 0, 0, env); err != nil {
 		return nil, err
 	}
+	// Uncoarsening projects through ping-ponged arena buffers: each level's
+	// block array is recycled once the next-finer projection has read it.
+	// Only the finest level allocates fresh — its block array escapes into
+	// the Result while the arena lives on for the next run. The coarsest
+	// block array is never recycled: it belongs to the InitialPartitioner
+	// (whose interface makes no ownership promise), not to this stage.
+	borrowed := false
 	for li := h.Depth() - 1; li >= 0; li-- {
-		block := h.Project(li, p.Block)
-		p = part.FromBlocks(h.Levels[li].Fine, cfg.K, cfg.Eps, block)
+		fine := h.Levels[li].Fine
+		var dst []int32
+		if li == 0 {
+			dst = make([]int32, fine.NumNodes())
+		} else {
+			dst = env.Arena.Int32(fine.NumNodes())
+		}
+		h.ProjectInto(li, p.Block, dst)
+		if borrowed {
+			env.Arena.PutInt32(p.Block)
+		}
+		borrowed = li > 0
+		p = part.FromBlocks(fine, cfg.K, cfg.Eps, dst)
 		if err := refineLevel(ctx, p, cfg, uint64(h.Depth()-li), h.Depth()-li, env); err != nil {
 			return nil, err
 		}

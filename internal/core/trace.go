@@ -48,18 +48,26 @@ type TraceEvent interface {
 	traceEvent()
 }
 
-// LevelEvent reports one pushed contraction level.
+// LevelEvent reports one pushed contraction level, including the split of
+// its wall-clock between the two kernels of the level: matching (including
+// the node-to-PE prepartition) and contraction. The kernel times are what
+// perf work optimizes; Time additionally covers the level's bookkeeping.
 type LevelEvent struct {
 	Level int // 1-based contraction level
 	Nodes int // nodes of the new coarser graph
 	Edges int // edges of the new coarser graph
 	Time  time.Duration
+
+	Match    time.Duration // matching kernel (§3.2–3.3)
+	Contract time.Duration // contraction kernel (two-pass CSR build)
 }
 
 func (LevelEvent) traceEvent() {}
 
 func (e LevelEvent) String() string {
-	return fmt.Sprintf("level %d: %d nodes, %d edges (%v)", e.Level, e.Nodes, e.Edges, e.Time.Round(time.Microsecond))
+	return fmt.Sprintf("level %d: %d nodes, %d edges (%v; match %v, contract %v)",
+		e.Level, e.Nodes, e.Edges, e.Time.Round(time.Microsecond),
+		e.Match.Round(time.Microsecond), e.Contract.Round(time.Microsecond))
 }
 
 // InitEvent reports the initial partition of the coarsest graph.

@@ -26,6 +26,21 @@ func New(n int) *DSU {
 	return d
 }
 
+// NewIn builds a DSU of singleton sets over caller-provided backing slices
+// (both of length n), overwriting their contents — the allocation-free
+// variant used by the GPA matcher's per-level scratch.
+func NewIn(parent, size []int32) *DSU {
+	if len(parent) != len(size) {
+		panic("dsu: NewIn slices must have equal length")
+	}
+	d := &DSU{parent: parent, size: size, sets: len(parent)}
+	for i := range parent {
+		parent[i] = int32(i)
+		size[i] = 1
+	}
+	return d
+}
+
 // Len returns the number of elements.
 func (d *DSU) Len() int { return len(d.parent) }
 

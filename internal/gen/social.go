@@ -30,13 +30,27 @@ func PrefAttach(n, d int, seed uint64) *graph.Graph {
 			pool = append(pool, int32(i), int32(j))
 		}
 	}
+	chosen := make([]int32, 0, d)
 	for v := start; v < n; v++ {
-		chosen := make(map[int32]bool, d)
+		// Deduplicate in insertion order: ranging over a set here would make
+		// the edge order — and through the pool, every later degree draw —
+		// depend on map iteration, so the "same" seed generated a different
+		// graph on every process.
+		chosen = chosen[:0]
 		for len(chosen) < d {
 			u := pool[r.Intn(len(pool))]
-			chosen[u] = true
+			dup := false
+			for _, c := range chosen {
+				if c == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, u)
+			}
 		}
-		for u := range chosen {
+		for _, u := range chosen {
 			b.AddEdge(int32(v), u, 1)
 			pool = append(pool, int32(v), u)
 		}

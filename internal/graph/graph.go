@@ -15,7 +15,9 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Graph is an immutable weighted undirected graph in CSR form. Construct one
@@ -29,6 +31,15 @@ type Graph struct {
 	totalNodeWeight int64
 	totalEdgeWeight int64 // each undirected edge counted once
 	maxNodeWeight   int64
+
+	// adjSorted records that every adjacency list is strictly increasing
+	// (true for Builder output, detected by FromCSR), enabling the binary
+	// search fast path of EdgeWeightTo. Contracted graphs keep their
+	// first-encounter adjacency order and stay on the linear scan.
+	adjSorted bool
+
+	wdegOnce sync.Once
+	wdeg     []int64 // cached weighted degrees Out(v), see WeightedDegrees
 
 	x, y []float64 // optional coordinates, len n or nil
 	z    []float64 // optional third dimension, len n or nil (only with x, y)
@@ -73,11 +84,85 @@ func (g *Graph) WeightedDegree(v int32) int64 {
 	return s
 }
 
-// EdgeWeightTo returns ω({v,u}) or 0 if {v,u} is not an edge. It is a linear
-// scan of v's adjacency; use only where degrees are small (e.g. quotient
-// graphs).
+// WeightedDegrees returns the weighted degrees of every node, computed once
+// per graph and cached; hot loops (edge ratings, FM gain seeds) read the
+// cache instead of re-summing adjacency per query. Contraction pre-fills the
+// cache of the coarse graph for free during the fill pass. The returned
+// slice is shared; callers must not modify it. Safe for concurrent use.
+func (g *Graph) WeightedDegrees() []int64 {
+	g.wdegOnce.Do(func() {
+		if g.wdeg != nil { // pre-filled at construction (SetWeightedDegrees)
+			return
+		}
+		n := g.NumNodes()
+		w := make([]int64, n)
+		fill := func(lo, hi int32) {
+			for v := lo; v < hi; v++ {
+				var s int64
+				for _, ew := range g.ewgt[g.xadj[v]:g.xadj[v+1]] {
+					s += ew
+				}
+				w[v] = s
+			}
+		}
+		if workers := runtime.GOMAXPROCS(0); workers > 1 && n >= 1<<14 {
+			var wg sync.WaitGroup
+			chunk := (n + workers - 1) / workers
+			for lo := 0; lo < n; lo += chunk {
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				wg.Add(1)
+				go func(lo, hi int32) {
+					defer wg.Done()
+					fill(lo, hi)
+				}(int32(lo), int32(hi))
+			}
+			wg.Wait()
+		} else {
+			fill(0, int32(n))
+		}
+		g.wdeg = w
+	})
+	return g.wdeg
+}
+
+// SetWeightedDegrees installs a precomputed weighted-degree array. It may
+// only be called during construction, before the graph is shared between
+// goroutines; contraction uses it to emit the coarse Out(v) values it
+// already computed while summing coarse edge weights. w[v] must equal
+// WeightedDegree(v) for every node.
+func (g *Graph) SetWeightedDegrees(w []int64) {
+	if len(w) != g.NumNodes() {
+		panic("graph: weighted-degree slice must have length n")
+	}
+	g.wdeg = w
+}
+
+// EdgeWeightTo returns ω({v,u}) or 0 if {v,u} is not an edge. On graphs with
+// sorted adjacency (Builder output, METIS files — detected at construction)
+// it binary-searches v's neighbor list; otherwise it falls back to a linear
+// scan, which is fine where degrees are small (e.g. quotient graphs) but
+// quadratic in degree when called for every neighbor of a high-degree coarse
+// node — hot paths on contracted graphs should use scatter arrays instead.
 func (g *Graph) EdgeWeightTo(v, u int32) int64 {
 	adj := g.Adj(v)
+	if g.adjSorted && len(adj) > 8 {
+		lo, hi := 0, len(adj)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if adj[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(adj) && adj[lo] == u {
+			return g.AdjWeights(v)[lo]
+		}
+		return 0
+	}
 	for i, t := range adj {
 		if t == u {
 			return g.AdjWeights(v)[i]
@@ -85,6 +170,10 @@ func (g *Graph) EdgeWeightTo(v, u int32) int64 {
 	}
 	return 0
 }
+
+// AdjSorted reports whether every adjacency list is strictly increasing, the
+// precondition of the EdgeWeightTo binary-search fast path.
+func (g *Graph) AdjSorted() bool { return g.adjSorted }
 
 // HasCoords reports whether the graph carries coordinates (2D or 3D).
 func (g *Graph) HasCoords() bool { return g.x != nil }
@@ -186,6 +275,16 @@ func FromCSR(xadj []int32, adj []int32, ewgt []int64, nwgt []int64) (*Graph, err
 			return nil, fmt.Errorf("graph: neighbor id %d out of range", t)
 		}
 	}
+	g.adjSorted = true
+	for v := 0; v < n && g.adjSorted; v++ {
+		seg := adj[xadj[v]:xadj[v+1]]
+		for i := 1; i < len(seg); i++ {
+			if seg[i-1] >= seg[i] {
+				g.adjSorted = false
+				break
+			}
+		}
+	}
 	for _, w := range ewgt {
 		if w <= 0 {
 			return nil, fmt.Errorf("graph: non-positive edge weight %d", w)
@@ -203,6 +302,24 @@ func FromCSR(xadj []int32, adj []int32, ewgt []int64, nwgt []int64) (*Graph, err
 		}
 	}
 	return g, nil
+}
+
+// FromCSRUnchecked adopts CSR arrays with NO validation and NO scans: the
+// caller vouches for structural validity and supplies the aggregate weights
+// FromCSR would otherwise recompute. It exists for the contraction hot path,
+// which builds the coarse CSR into exactly-sized arrays and already knows
+// every total; routing that snapshot through FromCSR would re-scan 2m edges
+// per level for invariants contraction guarantees by construction.
+// adjSorted is conservatively false (contracted adjacency keeps
+// first-encounter order); totalEdgeWeight counts each undirected edge once.
+func FromCSRUnchecked(xadj []int32, adj []int32, ewgt []int64, nwgt []int64,
+	totalNodeWeight, totalEdgeWeight, maxNodeWeight int64) *Graph {
+	return &Graph{
+		xadj: xadj, adj: adj, ewgt: ewgt, nwgt: nwgt,
+		totalNodeWeight: totalNodeWeight,
+		totalEdgeWeight: totalEdgeWeight,
+		maxNodeWeight:   maxNodeWeight,
+	}
 }
 
 // Validate checks structural invariants that FromCSR does not: no self

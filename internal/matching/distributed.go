@@ -69,7 +69,7 @@ func matchSubgraph(sg *dist.Subgraph, ex dist.Transport, rf rating.Func, alg Alg
 			nodes[i] = int32(i)
 			inSet[i] = true
 		}
-		shemInto(g, rt, r, nodes, inSet, m, maxPair)
+		shemInto(g, rt, r, nodes, inSet, m, maxPair, nil)
 	default:
 		var edges []Edge
 		for lv := int32(0); lv < int32(owned); lv++ {
@@ -83,7 +83,7 @@ func matchSubgraph(sg *dist.Subgraph, ex dist.Transport, rf rating.Func, alg Alg
 		if alg == Greedy {
 			greedyEdges(g, edges, m, maxPair)
 		} else {
-			gpaEdges(g, edges, m, maxPair)
+			gpaEdges(g, edges, m, maxPair, nil)
 		}
 	}
 

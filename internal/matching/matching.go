@@ -12,13 +12,20 @@
 // All algorithms maximize the *rating* of the matching (see internal/rating)
 // rather than the raw edge weight; with the Weight rating they degenerate to
 // the classical weight-based versions.
+//
+// Every entry point has a ...Scratch form taking a *mem.Arena; the matcher
+// then draws its candidate-edge arrays, per-block node groups and path/cycle
+// bookkeeping from the arena instead of allocating per level. Results are
+// byte-identical with and without an arena.
 package matching
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/mem"
 	"repro/internal/rating"
 	"repro/internal/rng"
 )
@@ -29,7 +36,14 @@ type Matching []int32
 
 // NewEmpty returns an all-unmatched matching over n nodes.
 func NewEmpty(n int) Matching {
-	m := make(Matching, n)
+	return newEmptyIn(nil, n)
+}
+
+// newEmptyIn draws the matching's backing array from a (nil = allocate).
+// Arena-backed matchings are returned to the arena by the caller via
+// a.PutInt32([]int32(m)) once contraction has consumed them.
+func newEmptyIn(a *mem.Arena, n int) Matching {
+	m := Matching(a.Int32(n))
 	for i := range m {
 		m[i] = -1
 	}
@@ -115,10 +129,35 @@ type Edge struct {
 	tie  uint32
 }
 
-// allEdges lists each undirected edge of g once (U < V) with ratings and
-// random tie breaks from r.
-func allEdges(g *graph.Graph, rt *rating.Rater, r *rng.RNG) []Edge {
-	edges := make([]Edge, 0, g.NumEdges())
+// edgeSlices recycles the candidate-edge arrays — the largest transient of
+// every matching level (one Edge per undirected edge of the level's graph).
+//
+// These are deliberately a process-global sync.Pool rather than part of the
+// per-run mem.Arena: the Arena's typed free lists cannot hold matching's
+// Edge type without an import cycle, and sync.Pool's GC integration means
+// the finest level's edge array is reclaimed under memory pressure instead
+// of pinned for an arena's lifetime. The trade-off is that this one
+// transient is pooled across runs even without WithArena.
+var edgeSlices = sync.Pool{New: func() any { return new([]Edge) }}
+
+// getEdges borrows an empty edge slice with capacity for at least capHint
+// entries.
+func getEdges(capHint int) *[]Edge {
+	p := edgeSlices.Get().(*[]Edge)
+	if cap(*p) < capHint {
+		*p = make([]Edge, 0, capHint)
+	}
+	*p = (*p)[:0]
+	return p
+}
+
+// putEdges returns a slice obtained from getEdges.
+func putEdges(p *[]Edge) { edgeSlices.Put(p) }
+
+// allEdgesInto appends each undirected edge of g once (U < V) with ratings
+// and random tie breaks from r, into buf (which it returns re-sliced).
+func allEdgesInto(g *graph.Graph, rt *rating.Rater, r *rng.RNG, buf []Edge) []Edge {
+	edges := buf[:0]
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		adj := g.Adj(v)
 		ws := g.AdjWeights(v)
@@ -154,16 +193,31 @@ func Compute(g *graph.Graph, rt *rating.Rater, alg Algorithm, r *rng.RNG) Matchi
 // tie-heavy ratings such as the plain edge weight let single clusters
 // snowball.
 func ComputeBounded(g *graph.Graph, rt *rating.Rater, alg Algorithm, r *rng.RNG, maxPair int64) Matching {
+	return ComputeScratch(g, rt, alg, r, maxPair, nil)
+}
+
+// ComputeScratch is ComputeBounded drawing every temporary — including the
+// returned matching itself — from a (nil = allocate fresh). The caller owns
+// the result; hand it back with a.PutInt32([]int32(m)) when done.
+func ComputeScratch(g *graph.Graph, rt *rating.Rater, alg Algorithm, r *rng.RNG, maxPair int64, a *mem.Arena) Matching {
 	switch alg {
 	case SHEM:
-		return shem(g, rt, r, nil, maxPair)
+		m := newEmptyIn(a, g.NumNodes())
+		shemInto(g, rt, r, nil, nil, m, maxPair, a)
+		return m
 	case Greedy:
-		m := NewEmpty(g.NumNodes())
-		greedyEdges(g, allEdges(g, rt, r), m, maxPair)
+		m := newEmptyIn(a, g.NumNodes())
+		buf := getEdges(g.NumEdges())
+		*buf = allEdgesInto(g, rt, r, *buf)
+		greedyEdges(g, *buf, m, maxPair)
+		putEdges(buf)
 		return m
 	case GPA:
-		m := NewEmpty(g.NumNodes())
-		gpaEdges(g, allEdges(g, rt, r), m, maxPair)
+		m := newEmptyIn(a, g.NumNodes())
+		buf := getEdges(g.NumEdges())
+		*buf = allEdgesInto(g, rt, r, *buf)
+		gpaEdges(g, *buf, m, maxPair, a)
+		putEdges(buf)
 		return m
 	default:
 		panic("matching: unknown algorithm")

@@ -155,7 +155,7 @@ func TestMaxPathMatchingOptimal(t *testing.T) {
 		for i := range ratings {
 			ratings[i] = float64(r.Intn(100))
 		}
-		take := maxPathMatching(ratings)
+		take := maxPathMatching(ratings, &pathDP{})
 		got := 0.0
 		for i, t := range take {
 			if t {
@@ -198,7 +198,7 @@ func TestMaxCycleMatchingOptimal(t *testing.T) {
 		for i := range ratings {
 			ratings[i] = float64(r.Intn(100))
 		}
-		take := maxCycleMatching(ratings)
+		take := maxCycleMatching(ratings, &pathDP{})
 		got := 0.0
 		for i, t := range take {
 			if t {

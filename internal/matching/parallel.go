@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/mem"
 	"repro/internal/rating"
 	"repro/internal/rng"
 )
@@ -26,18 +27,42 @@ func Parallel(g *graph.Graph, rt *rating.Rater, alg Algorithm, block []int32, np
 // ParallelBounded is Parallel with a maximum combined node weight per
 // matched pair (0 = unbounded); see ComputeBounded.
 func ParallelBounded(g *graph.Graph, rt *rating.Rater, alg Algorithm, block []int32, nparts int, seed uint64, maxPair int64) Matching {
-	n := g.NumNodes()
-	m := NewEmpty(n)
-	if nparts <= 1 {
-		return ComputeBounded(g, rt, alg, rng.NewStream(seed, 0), maxPair)
-	}
+	return ParallelScratch(g, rt, alg, block, nparts, seed, maxPair, nil)
+}
 
-	// Group nodes by block.
-	nodesOf := make([][]int32, nparts)
+// ParallelScratch is ParallelBounded drawing every temporary — the per-block
+// node groups, candidate and gap edge arrays, local-rating table, and the
+// returned matching itself — from a (nil = allocate fresh). The caller owns
+// the result; hand it back with a.PutInt32([]int32(m)) when done. The arena
+// is safe to share between the concurrent per-block workers.
+func ParallelScratch(g *graph.Graph, rt *rating.Rater, alg Algorithm, block []int32, nparts int, seed uint64, maxPair int64, a *mem.Arena) Matching {
+	n := g.NumNodes()
+	if nparts <= 1 {
+		return ComputeScratch(g, rt, alg, rng.NewStream(seed, 0), maxPair, a)
+	}
+	m := newEmptyIn(a, n)
+
+	// Group nodes by block, CSR-style: one flat arena buffer plus offsets
+	// instead of nparts growing slices. Within each block the nodes stay in
+	// ascending order, exactly as the append-based grouping produced.
+	off := a.Int32(nparts + 1)
+	clear(off)
+	for v := 0; v < n; v++ {
+		off[block[v]+1]++
+	}
+	for b := 0; b < nparts; b++ {
+		off[b+1] += off[b]
+	}
+	flat := a.Int32(n)
+	cursor := a.Int32(nparts)
+	copy(cursor, off[:nparts])
 	for v := 0; v < n; v++ {
 		b := block[v]
-		nodesOf[b] = append(nodesOf[b], int32(v))
+		flat[cursor[b]] = int32(v)
+		cursor[b]++
 	}
+	a.PutInt32(cursor)
+	nodesOf := func(b int) []int32 { return flat[off[b]:off[b+1]] }
 
 	// Phase 1: local matching per block, in parallel. Each worker touches
 	// only m[v] for v in its block, so no synchronization beyond the final
@@ -48,17 +73,20 @@ func ParallelBounded(g *graph.Graph, rt *rating.Rater, alg Algorithm, block []in
 		go func(p int) {
 			defer wg.Done()
 			r := rng.NewStream(seed, uint64(p))
+			nodes := nodesOf(p)
 			switch alg {
 			case SHEM:
-				inSet := make([]bool, n)
-				for _, v := range nodesOf[p] {
+				inSet := a.Bool(n)
+				for _, v := range nodes {
 					inSet[v] = true
 				}
-				shemInto(g, rt, r, nodesOf[p], inSet, m, maxPair)
+				shemInto(g, rt, r, nodes, inSet, m, maxPair, a)
+				a.PutBool(inSet)
 			default:
 				// Edge-based algorithms run on the block's internal edges.
-				var edges []Edge
-				for _, v := range nodesOf[p] {
+				buf := getEdges(0)
+				edges := *buf
+				for _, v := range nodes {
 					adj := g.Adj(v)
 					ws := g.AdjWeights(v)
 					for i, u := range adj {
@@ -70,22 +98,28 @@ func ParallelBounded(g *graph.Graph, rt *rating.Rater, alg Algorithm, block []in
 				if alg == Greedy {
 					greedyEdges(g, edges, m, maxPair)
 				} else {
-					gpaEdges(g, edges, m, maxPair)
+					gpaEdges(g, edges, m, maxPair, a)
 				}
+				*buf = edges
+				putEdges(buf)
 			}
 		}(p)
 	}
 	wg.Wait()
 
 	// Phase 2: gap graph. localRating[v] is the rating of v's local match
-	// (0 when unmatched).
-	localRating := make([]float64, n)
+	// (0 when unmatched). EdgeWeightTo binary-searches on sorted-adjacency
+	// graphs (the finest level); contracted levels fall back to the linear
+	// scan.
+	localRating := a.Float64(n)
+	clear(localRating)
 	for v := int32(0); v < int32(n); v++ {
 		if u := m[v]; u >= 0 {
 			localRating[v] = rt.Rate(v, u, g.EdgeWeightTo(v, u))
 		}
 	}
-	var gap []Edge
+	gapBuf := getEdges(0)
+	gap := *gapBuf
 	for v := int32(0); v < int32(n); v++ {
 		adj := g.Adj(v)
 		ws := g.AdjWeights(v)
@@ -102,7 +136,12 @@ func ParallelBounded(g *graph.Graph, rt *rating.Rater, alg Algorithm, block []in
 			}
 		}
 	}
-	matchLocallyHeaviest(n, gap, m)
+	matchLocallyHeaviest(n, gap, m, a)
+	*gapBuf = gap
+	putEdges(gapBuf)
+	a.PutFloat64(localRating)
+	a.PutInt32(flat)
+	a.PutInt32(off)
 	return m
 }
 
@@ -110,12 +149,12 @@ func ParallelBounded(g *graph.Graph, rt *rating.Rater, alg Algorithm, block []in
 // remaining gap edge at both endpoints. Endpoints that had a (lighter) local
 // match get it dissolved. Terminates because every round either matches an
 // edge or runs out of edges. n is the node count of the underlying graph.
-func matchLocallyHeaviest(n int, gap []Edge, m Matching) {
+func matchLocallyHeaviest(n int, gap []Edge, m Matching, a *mem.Arena) {
 	if len(gap) == 0 {
 		return
 	}
-	gapMatched := make([]bool, n) // nodes matched during the gap phase
-	best := make([]int32, n)      // best[v] = index of v's heaviest remaining gap edge
+	gapMatched := a.Bool(n) // nodes matched during the gap phase
+	best := a.Int32(n)      // best[v] = index of v's heaviest remaining gap edge
 	for i := range best {
 		best[i] = -1
 	}
@@ -167,4 +206,6 @@ func matchLocallyHeaviest(n int, gap []Edge, m Matching) {
 		}
 		gap = live
 	}
+	a.PutInt32(best)
+	a.PutBool(gapMatched)
 }

@@ -2,38 +2,38 @@ package matching
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/dsu"
 	"repro/internal/graph"
+	"repro/internal/mem"
 	"repro/internal/rating"
 	"repro/internal/rng"
 )
 
-// shem implements Sorted Heavy Edge Matching: nodes are scanned in order of
-// increasing degree (random within equal degrees); each unmatched node is
-// matched to the unmatched neighbor with the highest edge rating. If nodes
-// is non-nil, matching is restricted to that node subset and to edges with
-// both endpoints inside it (used by the parallel scheme).
-func shem(g *graph.Graph, rt *rating.Rater, r *rng.RNG, nodes []int32, maxPair int64) Matching {
-	m := NewEmpty(g.NumNodes())
-	shemInto(g, rt, r, nodes, nil, m, maxPair)
-	return m
-}
-
-// shemInto is shem writing into an existing matching; inSet restricts the
-// eligible partners (nil means all nodes are eligible).
-func shemInto(g *graph.Graph, rt *rating.Rater, r *rng.RNG, nodes []int32, inSet []bool, m Matching, maxPair int64) {
-	var order []int32
+// shemInto implements Sorted Heavy Edge Matching writing into an existing
+// matching: nodes are scanned in order of increasing degree (random within
+// equal degrees); each unmatched node is matched to the unmatched neighbor
+// with the highest edge rating. If nodes is non-nil, matching is restricted
+// to that node subset; inSet restricts the eligible partners (nil means all
+// nodes are eligible). Scratch comes from a (nil = allocate).
+func shemInto(g *graph.Graph, rt *rating.Rater, r *rng.RNG, nodes []int32, inSet []bool, m Matching, maxPair int64, a *mem.Arena) {
+	var count int
 	if nodes == nil {
-		order = make([]int32, g.NumNodes())
+		count = g.NumNodes()
+	} else {
+		count = len(nodes)
+	}
+	order := a.Int32(count)
+	if nodes == nil {
 		for i := range order {
 			order[i] = int32(i)
 		}
 	} else {
-		order = append([]int32(nil), nodes...)
+		copy(order, nodes)
 	}
 	// Sort by increasing degree with random tie breaks.
-	ties := make([]uint32, len(order))
+	ties := a.Uint32(count)
 	for i := range ties {
 		ties[i] = uint32(r.Uint64())
 	}
@@ -75,6 +75,8 @@ func shemInto(g *graph.Graph, rt *rating.Rater, r *rng.RNG, nodes []int32, inSet
 			m[best] = v
 		}
 	}
+	a.PutUint32(ties)
+	a.PutInt32(order)
 }
 
 // greedyEdges runs the sorted greedy half-approximation over the given edge
@@ -93,18 +95,34 @@ func greedyEdges(g *graph.Graph, edges []Edge, m Matching, maxPair int64) {
 	}
 }
 
+// halfEdge is one direction of a selected GPA edge.
+type halfEdge struct {
+	to int32
+	r  float64
+}
+
+// halfAdjSlices recycles the degree-≤2 adjacency used by the GPA path/cycle
+// decomposition (two halfEdges per node — the second-largest transient of a
+// GPA level after the candidate-edge array). A process-global sync.Pool for
+// the same reason as edgeSlices: the typed arena cannot hold this shape,
+// and GC-managed reclaim is the right lifetime for it.
+var halfAdjSlices = sync.Pool{New: func() any { return new([][2]halfEdge) }}
+
 // gpaEdges runs the Global Path Algorithm over the given edge set, writing
 // into m. GPA scans edges by descending rating like Greedy but first grows a
 // collection of paths and even cycles; it then computes an optimal matching
-// on each path/cycle by dynamic programming. n is the number of nodes in the
-// underlying graph.
-func gpaEdges(g *graph.Graph, edges []Edge, m Matching, maxPair int64) {
+// on each path/cycle by dynamic programming. Scratch comes from a (nil =
+// allocate).
+func gpaEdges(g *graph.Graph, edges []Edge, m Matching, maxPair int64, a *mem.Arena) {
 	n := g.NumNodes()
 	sortEdgesDesc(edges)
-	deg := make([]int8, n)
-	d := dsu.New(n)
-	odd := make([]bool, n)    // parity of edge count, stored at DSU roots
-	closed := make([]bool, n) // piece already closed into a cycle
+	deg := a.Bytes(n)
+	clear(deg)
+	dsuParent := a.Int32(n)
+	dsuSize := a.Int32(n)
+	d := dsu.NewIn(dsuParent, dsuSize)
+	odd := a.Bool(n)    // parity of edge count, stored at DSU roots
+	closed := a.Bool(n) // piece already closed into a cycle
 	selected := edges[:0]
 	for _, e := range edges {
 		if deg[e.U] >= 2 || deg[e.V] >= 2 {
@@ -142,20 +160,43 @@ func gpaEdges(g *graph.Graph, edges []Edge, m Matching, maxPair int64) {
 		deg[e.V]++
 		selected = append(selected, e)
 	}
-	matchPathsAndCycles(n, selected, deg, m)
+	matchPathsAndCycles(n, selected, deg, m, a)
+	a.PutBool(closed)
+	a.PutBool(odd)
+	a.PutInt32(dsuSize)
+	a.PutInt32(dsuParent)
+	a.PutBytes(deg)
+}
+
+// pathDP holds the grow-only dynamic-programming buffers of one
+// matchPathsAndCycles invocation, so the per-path/per-cycle solves allocate
+// nothing.
+type pathDP struct {
+	dpTake, dpSkip []float64
+	take, takeAlt  []bool
+}
+
+func (s *pathDP) grow(k int) {
+	if cap(s.dpTake) < k {
+		s.dpTake = make([]float64, k)
+		s.dpSkip = make([]float64, k)
+		s.take = make([]bool, k)
+		s.takeAlt = make([]bool, k)
+	}
 }
 
 // matchPathsAndCycles decomposes the degree-≤2 edge set into paths and
 // cycles, solves each optimally by dynamic programming, and records the
 // chosen edges in m.
-func matchPathsAndCycles(n int, selected []Edge, deg []int8, m Matching) {
+func matchPathsAndCycles(n int, selected []Edge, deg []byte, m Matching, a *mem.Arena) {
 	// Adjacency among selected edges: at most two incident edges per node.
-	type halfEdge struct {
-		to int32
-		r  float64
+	adjP := halfAdjSlices.Get().(*[][2]halfEdge)
+	if cap(*adjP) < n {
+		*adjP = make([][2]halfEdge, n)
 	}
-	adj := make([][2]halfEdge, n)
-	cnt := make([]int8, n)
+	adj := (*adjP)[:n]
+	cnt := a.Bytes(n)
+	clear(cnt)
 	push := func(v, u int32, r float64) {
 		adj[v][cnt[v]] = halfEdge{u, r}
 		cnt[v]++
@@ -164,9 +205,10 @@ func matchPathsAndCycles(n int, selected []Edge, deg []int8, m Matching) {
 		push(e.U, e.V, e.R)
 		push(e.V, e.U, e.R)
 	}
-	visited := make([]bool, n)
+	visited := a.Bool(n)
 	var pathU, pathV []int32
 	var pathR []float64
+	var dp pathDP
 
 	walk := func(start int32) bool /*isCycle*/ {
 		pathU, pathV, pathR = pathU[:0], pathV[:0], pathR[:0]
@@ -176,7 +218,7 @@ func matchPathsAndCycles(n int, selected []Edge, deg []int8, m Matching) {
 			visited[v] = true
 			var next halfEdge
 			found := false
-			for i := int8(0); i < cnt[v]; i++ {
+			for i := byte(0); i < cnt[v]; i++ {
 				if adj[v][i].to != prev {
 					next = adj[v][i]
 					found = true
@@ -212,7 +254,7 @@ func matchPathsAndCycles(n int, selected []Edge, deg []int8, m Matching) {
 	for v := int32(0); v < int32(n); v++ {
 		if !visited[v] && cnt[v] == 1 {
 			walk(v)
-			apply(maxPathMatching(pathR))
+			apply(maxPathMatching(pathR, &dp))
 		}
 	}
 	// Remaining unvisited nodes with edges lie on cycles.
@@ -221,27 +263,42 @@ func matchPathsAndCycles(n int, selected []Edge, deg []int8, m Matching) {
 			if !walk(v) {
 				continue // defensive: should not happen
 			}
-			apply(maxCycleMatching(pathR))
+			apply(maxCycleMatching(pathR, &dp))
 		}
 	}
 	// A walk that started mid-path would miss one side; starting only at
 	// degree-1 nodes (paths) and unvisited degree-2 nodes (cycles) covers
 	// everything because paths are exhausted before cycles.
+	a.PutBool(visited)
+	a.PutBytes(cnt)
+	halfAdjSlices.Put(adjP)
 }
 
 // maxPathMatching returns, for a path whose consecutive edges have ratings
 // r, the optimal take/skip choice maximizing the total rating of pairwise
-// non-adjacent edges.
-func maxPathMatching(r []float64) []bool {
+// non-adjacent edges. The result aliases dp.take and is valid until the next
+// solve on the same pathDP.
+func maxPathMatching(r []float64, dp *pathDP) []bool {
 	k := len(r)
-	take := make([]bool, k)
+	dp.grow(k)
+	take := dp.take[:k]
+	clear(take)
 	if k == 0 {
 		return take
 	}
-	// dp[i] = best over first i+1 edges; choice[i] = whether edge i taken in
-	// the optimum for prefix i.
-	dpTake := make([]float64, k) // best with edge i taken
-	dpSkip := make([]float64, k) // best with edge i skipped
+	maxPathMatchingInto(r, take, dp.dpTake[:k], dp.dpSkip[:k])
+	return take
+}
+
+// maxPathMatchingInto solves the path DP into the caller's buffers; take
+// must be pre-cleared.
+func maxPathMatchingInto(r []float64, take []bool, dpTake, dpSkip []float64) {
+	k := len(r)
+	if k == 0 {
+		return
+	}
+	// dpTake[i] = best over first i+1 edges with edge i taken; dpSkip[i] =
+	// best with edge i skipped.
 	dpTake[0], dpSkip[0] = r[0], 0
 	for i := 1; i < k; i++ {
 		dpTake[i] = dpSkip[i-1] + r[i]
@@ -262,18 +319,18 @@ func maxPathMatching(r []float64) []bool {
 			}
 		}
 	}
-	return take
 }
 
 // maxCycleMatching solves the cycle case: either the last edge is excluded
 // (path over edges 0..k-2) or it is taken (forcing its neighbors, edges 0
-// and k-2, out; path over 1..k-3).
-func maxCycleMatching(r []float64) []bool {
+// and k-2, out; path over 1..k-3). The result aliases dp.take.
+func maxCycleMatching(r []float64, dp *pathDP) []bool {
 	k := len(r)
 	if k < 3 {
 		// Degenerate; treat as path.
-		return maxPathMatching(r)
+		return maxPathMatching(r, dp)
 	}
+	dp.grow(k)
 	sum := func(take []bool, rs []float64) float64 {
 		s := 0.0
 		for i, t := range take {
@@ -283,16 +340,22 @@ func maxCycleMatching(r []float64) []bool {
 		}
 		return s
 	}
-	a := maxPathMatching(r[:k-1]) // last edge excluded
+	// Variant a in dp.takeAlt: last edge excluded.
+	a := dp.takeAlt[:k-1]
+	clear(a)
+	maxPathMatchingInto(r[:k-1], a, dp.dpTake[:k-1], dp.dpSkip[:k-1])
 	aVal := sum(a, r[:k-1])
-	bInner := maxPathMatching(r[1 : k-2])
+	// Variant b in dp.take: last edge taken, inner path over 1..k-3.
+	take := dp.take[:k]
+	clear(take)
+	bInner := take[1 : k-2]
+	maxPathMatchingInto(r[1:k-2], bInner, dp.dpTake[:k-3], dp.dpSkip[:k-3])
 	bVal := r[k-1] + sum(bInner, r[1:k-2])
-	take := make([]bool, k)
 	if aVal >= bVal {
+		clear(take)
 		copy(take, a)
 		return take
 	}
 	take[k-1] = true
-	copy(take[1:], bInner)
 	return take
 }

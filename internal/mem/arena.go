@@ -1,0 +1,254 @@
+// Package mem provides the scratch arena that makes the multilevel kernels
+// allocation-free across contraction levels.
+//
+// The paper's §5.2 chooses the static adjacency-array layout precisely so the
+// hot kernels run over flat, pre-sized buffers. The multilevel scheme then
+// repeats the same kernels at every one of the O(log n) levels of the
+// V-cycle, each needing temporary arrays no larger than those of the finest
+// graph. An Arena owns those temporaries: a stage borrows a slice sized to
+// its current level, uses it, and returns it, so the next level — and the
+// next Run on the same Arena — reuses the same backing memory instead of
+// re-allocating and re-triggering the garbage collector.
+//
+// Arenas are safe for concurrent use: the parallel contraction workers and
+// the concurrent pairwise refinements of one run all borrow from the shared
+// arena of that run. A nil *Arena is valid everywhere and falls back to
+// plain allocation, so every scratch-aware function accepts "no reuse" with
+// zero branches at the call sites.
+package mem
+
+import "sync"
+
+// maxFree bounds the number of idle slices kept per element type so that a
+// burst of concurrent borrowers cannot grow an arena without bound.
+const maxFree = 64
+
+// Arena is a reusable pool of scratch slices, one free list per element
+// type. Borrowed slices have exactly the requested length and UNDEFINED
+// contents — callers must initialize every element they read (the kernels
+// all do, either by stamping or by explicit fill loops). Returning a slice
+// that is still referenced elsewhere is the caller's bug, exactly as with
+// any other manual reuse scheme.
+//
+// The zero value is ready to use; so is nil (every method on a nil arena
+// degenerates to make / no-op).
+type Arena struct {
+	mu    sync.Mutex
+	i32   [][]int32
+	i64   [][]int64
+	u32   [][]uint32
+	f64   [][]float64
+	bl    [][]bool
+	by    [][]byte
+	gets  int64 // borrows served
+	hits  int64 // borrows served from a free list
+	grews int64 // borrows that had to allocate
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// take removes the best-fitting free slice with capacity >= n, or reports
+// failure. Best fit (smallest sufficient capacity) keeps the big finest-level
+// buffers for the big requests.
+func take[T any](list *[][]T, n int) ([]T, bool) {
+	best := -1
+	for i, s := range *list {
+		if cap(s) >= n && (best < 0 || cap(s) < cap((*list)[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	s := (*list)[best]
+	last := len(*list) - 1
+	(*list)[best] = (*list)[last]
+	(*list)[last] = nil
+	*list = (*list)[:last]
+	return s[:n], true
+}
+
+func put[T any](list *[][]T, s []T) {
+	if cap(s) == 0 || len(*list) >= maxFree {
+		return
+	}
+	*list = append(*list, s[:0])
+}
+
+// Int32 borrows a scratch []int32 of length n (contents undefined).
+func (a *Arena) Int32(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gets++
+	if s, ok := take(&a.i32, n); ok {
+		a.hits++
+		return s
+	}
+	a.grews++
+	return make([]int32, n)
+}
+
+// PutInt32 returns a slice borrowed with Int32 (or adopts any other
+// no-longer-referenced slice into the pool). nil receivers and nil slices
+// are no-ops.
+func (a *Arena) PutInt32(s []int32) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	put(&a.i32, s)
+}
+
+// Int64 borrows a scratch []int64 of length n (contents undefined).
+func (a *Arena) Int64(n int) []int64 {
+	if a == nil {
+		return make([]int64, n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gets++
+	if s, ok := take(&a.i64, n); ok {
+		a.hits++
+		return s
+	}
+	a.grews++
+	return make([]int64, n)
+}
+
+// PutInt64 returns a slice borrowed with Int64.
+func (a *Arena) PutInt64(s []int64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	put(&a.i64, s)
+}
+
+// Uint32 borrows a scratch []uint32 of length n (contents undefined).
+func (a *Arena) Uint32(n int) []uint32 {
+	if a == nil {
+		return make([]uint32, n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gets++
+	if s, ok := take(&a.u32, n); ok {
+		a.hits++
+		return s
+	}
+	a.grews++
+	return make([]uint32, n)
+}
+
+// PutUint32 returns a slice borrowed with Uint32.
+func (a *Arena) PutUint32(s []uint32) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	put(&a.u32, s)
+}
+
+// Float64 borrows a scratch []float64 of length n (contents undefined).
+func (a *Arena) Float64(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gets++
+	if s, ok := take(&a.f64, n); ok {
+		a.hits++
+		return s
+	}
+	a.grews++
+	return make([]float64, n)
+}
+
+// PutFloat64 returns a slice borrowed with Float64.
+func (a *Arena) PutFloat64(s []float64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	put(&a.f64, s)
+}
+
+// Bool borrows a scratch []bool of length n, ZEROED (membership sets are the
+// one scratch shape whose users universally rely on a false default).
+func (a *Arena) Bool(n int) []bool {
+	if a == nil {
+		return make([]bool, n)
+	}
+	a.mu.Lock()
+	a.gets++
+	s, ok := take(&a.bl, n)
+	if ok {
+		a.hits++
+	} else {
+		a.grews++
+	}
+	a.mu.Unlock()
+	if !ok {
+		return make([]bool, n)
+	}
+	clear(s)
+	return s
+}
+
+// PutBool returns a slice borrowed with Bool. The slice need not be cleared
+// first; Bool clears on borrow.
+func (a *Arena) PutBool(s []bool) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	put(&a.bl, s)
+}
+
+// Bytes borrows a scratch []byte of length n (contents undefined).
+func (a *Arena) Bytes(n int) []byte {
+	if a == nil {
+		return make([]byte, n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gets++
+	if s, ok := take(&a.by, n); ok {
+		a.hits++
+		return s
+	}
+	a.grews++
+	return make([]byte, n)
+}
+
+// PutBytes returns a slice borrowed with Bytes.
+func (a *Arena) PutBytes(s []byte) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	put(&a.by, s)
+}
+
+// Stats reports how many borrows the arena served and how many of those were
+// satisfied from a free list (reuse) versus fresh allocations. Tests use it
+// to assert that reuse actually happens.
+func (a *Arena) Stats() (gets, reused, allocated int64) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gets, a.hits, a.grews
+}

@@ -32,6 +32,32 @@ func NewBucketQueue(n, maxGain int) *BucketQueue {
 	return q
 }
 
+// Reset re-initializes the queue for node ids in [0, n) and gains in
+// [-maxGain, maxGain], reusing the bucket, position and gain storage when
+// large enough — the allocation-free equivalent of NewBucketQueue.
+func (q *BucketQueue) Reset(n, maxGain int) {
+	if nb := 2*maxGain + 1; cap(q.buckets) < nb {
+		q.buckets = make([][]int32, nb)
+	} else {
+		q.buckets = q.buckets[:nb]
+		for i := range q.buckets {
+			q.buckets[i] = q.buckets[i][:0]
+		}
+	}
+	q.maxGain = maxGain
+	if cap(q.pos) < n {
+		q.pos = make([]int32, n)
+		q.gain = make([]int32, n)
+	}
+	q.pos = q.pos[:n]
+	q.gain = q.gain[:n]
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	q.highest = -1
+	q.size = 0
+}
+
 // Len returns the number of queued nodes.
 func (q *BucketQueue) Len() int { return q.size }
 

@@ -129,6 +129,22 @@ func (q *GainQueue) Clear() {
 	q.heap = q.heap[:0]
 }
 
+// Reset re-initializes the queue for node ids in [0, n), reusing the
+// existing heap and position storage when it is large enough — the
+// allocation-free equivalent of NewGainQueue(n) used by the refinement
+// workspaces, which run one FM search per block pair per level per global
+// iteration on the same queue pair.
+func (q *GainQueue) Reset(n int) {
+	if cap(q.pos) < n {
+		q.pos = make([]int32, n)
+	}
+	q.pos = q.pos[:n]
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	q.heap = q.heap[:0]
+}
+
 func (q *GainQueue) remove(i int) {
 	last := len(q.heap) - 1
 	q.pos[q.heap[i].node] = -1

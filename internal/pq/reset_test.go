@@ -1,0 +1,47 @@
+package pq
+
+import "testing"
+
+func TestGainQueueReset(t *testing.T) {
+	q := NewGainQueue(4)
+	q.Push(0, 5, 1)
+	q.Push(3, 9, 2)
+	q.Reset(8) // grow across a reset with residual content
+	if !q.Empty() {
+		t.Fatal("queue must be empty after Reset")
+	}
+	for v := int32(0); v < 8; v++ {
+		if q.Contains(v) {
+			t.Fatalf("node %d present after Reset", v)
+		}
+	}
+	q.Push(7, 1, 0)
+	q.Push(2, 3, 0)
+	if v, g := q.PopMax(); v != 2 || g != 3 {
+		t.Fatalf("PopMax = (%d,%d), want (2,3)", v, g)
+	}
+	// Shrinking reset reuses storage.
+	q.Reset(2)
+	q.Push(1, 4, 0)
+	if v, _ := q.PopMax(); v != 1 {
+		t.Fatal("queue broken after shrinking Reset")
+	}
+}
+
+func TestBucketQueueReset(t *testing.T) {
+	q := NewBucketQueue(4, 3)
+	q.Push(0, 2)
+	q.Push(1, -3)
+	q.Reset(6, 5)
+	if !q.Empty() {
+		t.Fatal("queue must be empty after Reset")
+	}
+	q.Push(5, 5)
+	q.Push(2, -5)
+	if v, g := q.PopMax(); v != 5 || g != 5 {
+		t.Fatalf("PopMax = (%d,%d), want (5,5)", v, g)
+	}
+	if v, g := q.PopMax(); v != 2 || g != -5 {
+		t.Fatalf("PopMax = (%d,%d), want (2,-5)", v, g)
+	}
+}

@@ -51,8 +51,10 @@ func (f Func) String() string {
 	}
 }
 
-// Rater evaluates a rating function against a fixed graph. It precomputes
-// the weighted degrees Out(v) needed by InnerOuter.
+// Rater evaluates a rating function against a fixed graph. The weighted
+// degrees Out(v) needed by InnerOuter come from the graph's per-level cache
+// (graph.WeightedDegrees): computed at most once per graph — contraction
+// even pre-fills it for coarse graphs — instead of re-summed per Rater.
 type Rater struct {
 	f    Func
 	g    *graph.Graph
@@ -63,11 +65,7 @@ type Rater struct {
 func NewRater(f Func, g *graph.Graph) *Rater {
 	r := &Rater{f: f, g: g}
 	if f == InnerOuter {
-		n := g.NumNodes()
-		r.wdeg = make([]int64, n)
-		for v := int32(0); v < int32(n); v++ {
-			r.wdeg[v] = g.WeightedDegree(v)
-		}
+		r.wdeg = g.WeightedDegrees()
 	}
 	return r
 }

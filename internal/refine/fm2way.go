@@ -3,6 +3,12 @@
 // refinement unit), the queue selection strategies of §5.2 (TopGain,
 // TopGainMaxLoad, MaxLoad, Alternate), and the greedy k-way refinement and
 // rebalancing used by the Metis-style baselines.
+//
+// Pair searches run against a Workspace holding the band arrays and the two
+// gain queues; reusing one Workspace across the pairs, levels and global
+// iterations a goroutine processes makes the inner loop allocation-free
+// (see RefinePairViewWS). Results are byte-identical with fresh and reused
+// workspaces.
 package refine
 
 import (
@@ -63,17 +69,53 @@ type TwoWayConfig struct {
 	BandDepth int     // BFS depth from the boundary (Table 2: 1 / 5 / 20)
 }
 
+// Workspace owns the reusable storage of pairwise FM searches: the
+// global-size band membership and local-id tables, the band-size side/move
+// arrays, the two gain queues, the queue-seeding permutation, and the move
+// logs of the two seeded runs. One goroutine reuses one Workspace across
+// every pair it refines, on every level and global iteration; the arrays
+// grow to the finest graph once and stay there. A Workspace must not be
+// shared between concurrent searches.
+type Workspace struct {
+	inBand  []bool  // global-size; all false between searches
+	localID []int32 // global-size; valid only where inBand
+
+	band   []int32
+	side   []byte
+	moved  []bool
+	qa, qb pq.GainQueue
+	perm   []int
+	movesA []int32
+	movesB []int32
+}
+
+// NewWorkspace returns an empty workspace; it grows lazily to the graphs it
+// refines.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// growGlobal sizes the global-node-indexed tables for a graph of n nodes.
+// New inBand cells are zero (false) by construction; recycled cells were
+// cleaned by the previous search's release.
+func (ws *Workspace) growGlobal(n int) {
+	if cap(ws.inBand) < n {
+		ws.inBand = make([]bool, n)
+		ws.localID = make([]int32, n)
+	}
+	ws.inBand = ws.inBand[:n]
+	ws.localID = ws.localID[:n]
+}
+
 // pairSearch is the working state of one two-way FM search. It never mutates
 // the partition: both seeded searches of a block pair run on copies and the
 // better result is applied afterwards (§5: "the better partitioning of the
 // two blocks is adopted").
 type pairSearch struct {
 	p      *part.Partition
+	ws     *Workspace
 	view   []int32 // block membership snapshot for reads outside the pair
 	a, b   int32
-	band   []int32         // global ids of band nodes
-	local  map[int32]int32 // global id -> local id
-	side   []byte          // 0 = in a, 1 = in b (current, local copy)
+	band   []int32 // global ids of band nodes
+	side   []byte  // 0 = in a, 1 = in b (current, local copy)
 	moved  []bool
 	qa, qb *pq.GainQueue
 	cA, cB int64
@@ -89,16 +131,18 @@ type result struct {
 	cut       int64
 }
 
-// buildBand collects the nodes of blocks a and b within cfg.BandDepth BFS
-// steps of the a↔b boundary (§5.2, Figure 2: only a small band around the
-// boundary is exchanged and searched). Block membership is read from view,
-// which may be a snapshot taken before concurrent pair refinements started;
-// entries for blocks a and b are only ever written by this pair's owner, so
-// the snapshot is exact where it matters.
-func buildBand(p *part.Partition, view []int32, a, b int32, depth int) []int32 {
+// buildBand collects the nodes of blocks a and b within depth BFS steps of
+// the a↔b boundary (§5.2, Figure 2: only a small band around the boundary is
+// exchanged and searched) into ws.band, marking them in ws.inBand. Block
+// membership is read from view, which may be a snapshot taken before
+// concurrent pair refinements started; entries for blocks a and b are only
+// ever written by this pair's owner, so the snapshot is exact where it
+// matters. The BFS frontier of each depth is the band segment appended
+// during the previous depth, so no separate frontier storage is needed.
+func buildBand(p *part.Partition, ws *Workspace, view []int32, a, b int32, depth int) []int32 {
 	g := p.G
-	var frontier []int32
-	inBand := make(map[int32]bool)
+	inBand := ws.inBand
+	band := ws.band[:0]
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		bv := viewGet(view, v)
 		if bv != a && bv != b {
@@ -110,52 +154,61 @@ func buildBand(p *part.Partition, view []int32, a, b int32, depth int) []int32 {
 		}
 		for _, u := range g.Adj(v) {
 			if viewGet(view, u) == other {
-				frontier = append(frontier, v)
+				band = append(band, v)
 				inBand[v] = true
 				break
 			}
 		}
 	}
-	band := append([]int32(nil), frontier...)
+	frontLo, frontHi := 0, len(band)
 	for d := 1; d < depth; d++ {
-		var next []int32
-		for _, v := range frontier {
+		for fi := frontLo; fi < frontHi; fi++ {
+			v := band[fi]
 			bv := viewGet(view, v)
 			for _, u := range g.Adj(v) {
 				if viewGet(view, u) == bv && !inBand[u] {
 					inBand[u] = true
-					next = append(next, u)
 					band = append(band, u)
 				}
 			}
 		}
-		if len(next) == 0 {
+		if len(band) == frontHi {
 			break
 		}
-		frontier = next
+		frontLo, frontHi = frontHi, len(band)
 	}
+	ws.band = band
 	return band
 }
 
-func newPairSearch(p *part.Partition, view []int32, a, b int32, cfg TwoWayConfig) *pairSearch {
+func newPairSearch(p *part.Partition, ws *Workspace, view []int32, a, b int32, cfg TwoWayConfig) *pairSearch {
 	depth := cfg.BandDepth
 	if depth < 1 {
 		depth = 1
 	}
-	band := buildBand(p, view, a, b, depth)
+	ws.growGlobal(p.G.NumNodes())
+	band := buildBand(p, ws, view, a, b, depth)
+	if cap(ws.side) < len(band) {
+		ws.side = make([]byte, len(band))
+		ws.moved = make([]bool, len(band))
+	}
+	ws.side = ws.side[:len(band)]
+	ws.moved = ws.moved[:len(band)]
 	s := &pairSearch{
-		p: p, view: view, a: a, b: b,
+		p: p, ws: ws, view: view, a: a, b: b,
 		band:  band,
-		local: make(map[int32]int32, len(band)),
-		side:  make([]byte, len(band)),
-		moved: make([]bool, len(band)),
+		side:  ws.side,
+		moved: ws.moved,
 		cA:    p.BlockWeight(a),
 		cB:    p.BlockWeight(b),
 	}
 	for li, v := range band {
-		s.local[v] = int32(li)
+		ws.localID[v] = int32(li)
+		s.moved[li] = false
 		if viewGet(view, v) == b {
 			s.side[li] = 1
+		} else {
+			s.side[li] = 0
 		}
 	}
 	// The pair cut counts every a↔b edge once (from the a side). Both
@@ -174,6 +227,14 @@ func newPairSearch(p *part.Partition, view []int32, a, b int32, cfg TwoWayConfig
 	return s
 }
 
+// release cleans the workspace's global tables for the next search.
+func (s *pairSearch) release() {
+	inBand := s.ws.inBand
+	for _, v := range s.band {
+		inBand[v] = false
+	}
+}
+
 // gain computes the current gain of moving band node li to the other block:
 // w(v→other) − w(v→own), counting only edges inside the pair (edges to third
 // blocks stay cut either way).
@@ -182,11 +243,12 @@ func (s *pairSearch) gain(li int32) int64 {
 	g := s.p.G
 	adj := g.Adj(v)
 	ws := g.AdjWeights(v)
+	inBand, localID := s.ws.inBand, s.ws.localID
 	var wOwn, wOther int64
 	for i, u := range adj {
 		var uSide byte
-		if ul, ok := s.local[u]; ok {
-			uSide = s.side[ul]
+		if inBand[u] {
+			uSide = s.side[localID[u]]
 		} else {
 			switch viewGet(s.view, u) {
 			case s.a:
@@ -218,18 +280,26 @@ func (s *pairSearch) imbalance() int64 {
 	return im
 }
 
-// run executes one seeded FM search and returns the best prefix found. It
-// restores s.side/s.moved/s.cA/s.cB/s.cut before returning so the search can
-// be repeated with another seed.
-func (s *pairSearch) run(cfg TwoWayConfig, r *rng.RNG) result {
+// run executes one seeded FM search and returns the best prefix found,
+// logging moves into the moves buffer (whose possibly-regrown backing array
+// is returned via result.moves). It restores s.side/s.moved/s.cA/s.cB/s.cut
+// before returning so the search can be repeated with another seed.
+func (s *pairSearch) run(cfg TwoWayConfig, r *rng.RNG, moves []int32) result {
 	n := len(s.band)
-	s.qa = pq.NewGainQueue(n)
-	s.qb = pq.NewGainQueue(n)
+	ws := s.ws
+	ws.qa.Reset(n)
+	ws.qb.Reset(n)
+	s.qa, s.qb = &ws.qa, &ws.qb
 	// "The queues are initialized in random order with the nodes at the
 	// partition boundary" — we seed them with the whole band (depth-1 bands
 	// are exactly the boundary).
+	if cap(ws.perm) < n {
+		ws.perm = make([]int, n)
+	}
+	perm := ws.perm[:n]
+	r.PermInto(perm)
 	var sizeA, sizeB int
-	for _, li := range r.Perm(n) {
+	for _, li := range perm {
 		l := int32(li)
 		if s.side[l] == 0 {
 			s.qa.Push(l, s.gain(l), uint32(r.Uint64()))
@@ -248,8 +318,8 @@ func (s *pairSearch) run(cfg TwoWayConfig, r *rng.RNG) result {
 		patienceLimit = 1
 	}
 
-	res := result{imbalance: s.imbalance(), cut: s.cut}
-	startImb, startCut := res.imbalance, res.cut
+	res := result{moves: moves[:0], imbalance: s.imbalance(), cut: s.cut}
+	startCut := res.cut
 	startCA, startCB := s.cA, s.cB
 	fruitless := 0
 	alternateNext := byte(0)
@@ -284,13 +354,17 @@ func (s *pairSearch) run(cfg TwoWayConfig, r *rng.RNG) result {
 		// Update queued neighbors: +2ω for neighbors left behind, −2ω for
 		// neighbors in the block v joined.
 		adj := s.p.G.Adj(v)
-		ws := s.p.G.AdjWeights(v)
+		wts := s.p.G.AdjWeights(v)
+		inBand, localID := ws.inBand, ws.localID
 		for i, u := range adj {
-			ul, ok := s.local[u]
-			if !ok || s.moved[ul] {
+			if !inBand[u] {
 				continue
 			}
-			delta := 2 * ws[i]
+			ul := localID[u]
+			if s.moved[ul] {
+				continue
+			}
+			delta := 2 * wts[i]
 			if s.side[ul] == s.side[li] {
 				delta = -delta
 			}
@@ -318,7 +392,6 @@ func (s *pairSearch) run(cfg TwoWayConfig, r *rng.RNG) result {
 	}
 	s.cA, s.cB = startCA, startCB
 	s.cut = startCut
-	_ = startImb
 	return res
 }
 
@@ -393,12 +466,22 @@ func RefinePair(p *part.Partition, a, b int32, cfg TwoWayConfig, seedA, seedB ui
 // nodes of blocks a and b the snapshot is exact, because only this pair may
 // move them.
 func RefinePairView(p *part.Partition, view []int32, a, b int32, cfg TwoWayConfig, seedA, seedB uint64) RefinePairOutcome {
-	s := newPairSearch(p, view, a, b, cfg)
+	return RefinePairViewWS(NewWorkspace(), p, view, a, b, cfg, seedA, seedB)
+}
+
+// RefinePairViewWS is RefinePairView running against a reusable Workspace —
+// the allocation-free form the pipeline uses, obtaining workspaces from a
+// per-run pool. The outcome is byte-identical to a fresh workspace.
+func RefinePairViewWS(ws *Workspace, p *part.Partition, view []int32, a, b int32, cfg TwoWayConfig, seedA, seedB uint64) RefinePairOutcome {
+	s := newPairSearch(p, ws, view, a, b, cfg)
 	if len(s.band) == 0 {
+		s.release()
 		return RefinePairOutcome{}
 	}
-	r1 := s.run(cfg, rng.New(seedA))
-	r2 := s.run(cfg, rng.New(seedB))
+	r1 := s.run(cfg, rng.New(seedA), ws.movesA)
+	ws.movesA = r1.moves
+	r2 := s.run(cfg, rng.New(seedB), ws.movesB)
+	ws.movesB = r2.moves
 	best := r1
 	if r2.imbalance < best.imbalance || (r2.imbalance == best.imbalance && r2.cut < best.cut) {
 		best = r2
@@ -420,9 +503,11 @@ func RefinePairView(p *part.Partition, view []int32, a, b int32, cfg TwoWayConfi
 		}
 		s.side[li] = 1 - s.side[li]
 	}
-	return RefinePairOutcome{
+	out := RefinePairOutcome{
 		Gain:     startCut - best.cut,
 		Moves:    best.bestLen,
 		BandSize: len(s.band),
 	}
+	s.release()
+	return out
 }

@@ -161,8 +161,11 @@ func TestBandDepthGrowsBand(t *testing.T) {
 		block[v] = int32(2 * v / n)
 	}
 	p := part.FromBlocks(g, 2, 0.03, block)
-	b1 := buildBand(p, p.Block, 0, 1, 1)
-	b5 := buildBand(p, p.Block, 0, 1, 5)
+	ws1, ws5 := NewWorkspace(), NewWorkspace()
+	ws1.growGlobal(n)
+	ws5.growGlobal(n)
+	b1 := buildBand(p, ws1, p.Block, 0, 1, 1)
+	b5 := buildBand(p, ws5, p.Block, 0, 1, 5)
 	if len(b5) <= len(b1) {
 		t.Fatalf("band did not grow with depth: %d vs %d", len(b1), len(b5))
 	}

@@ -104,11 +104,18 @@ func (r *RNG) Bool() bool {
 // Perm returns a random permutation of [0, n) as a fresh slice.
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)), drawing exactly
+// the same values from r as Perm(len(p)) — the allocation-free variant used
+// by the refinement scratch workspaces.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.Shuffle(p)
-	return p
 }
 
 // Perm32 returns a random permutation of [0, n) as int32 values.

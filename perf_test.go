@@ -1,0 +1,122 @@
+package repro
+
+import (
+	"context"
+	"testing"
+)
+
+// perfFamilies is one instance per generator family, sized so the full
+// matrix stays fast.
+func perfFamilies() map[string]*Graph {
+	return map[string]*Graph{
+		"rgg":      RGG(11, 21),
+		"delaunay": DelaunayX(11, 22),
+		"grid3d":   Grid3D(9, 9, 9),
+		"road":     Road(3000, 5, 23),
+		"social":   PrefAttach(3000, 5, 24),
+		"banded":   Banded(2500, 8, 20, 0.6, 25),
+	}
+}
+
+// TestRunArenaReuseByteIdentical is the scratch-reuse pin: running twice on
+// the same arena, and once without any arena, must produce byte-identical
+// blocks for a fixed seed, across generator families and both coarsening
+// modes. A buffer leaking state between runs would show up here.
+func TestRunArenaReuseByteIdentical(t *testing.T) {
+	for name, g := range perfFamilies() {
+		for _, mode := range []CoarsenMode{CoarsenShared, CoarsenDistributed} {
+			cfg := NewConfig(Fast, 8)
+			cfg.Seed = 1217
+			cfg.Coarsen = mode
+			fresh, err := Run(context.Background(), g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := NewArena()
+			first, err := Run(context.Background(), g, cfg, WithArena(arena))
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(context.Background(), g, cfg, WithArena(arena))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gets, reused, _ := arena.Stats(); gets == 0 || reused == 0 {
+				t.Fatalf("%s/%s: arena not exercised (gets=%d reused=%d)", name, mode, gets, reused)
+			}
+			for v := range fresh.Blocks {
+				if first.Blocks[v] != fresh.Blocks[v] || second.Blocks[v] != fresh.Blocks[v] {
+					t.Fatalf("%s/%s: blocks diverge at node %d between fresh/first/second arena runs", name, mode, v)
+				}
+			}
+			if first.Cut != fresh.Cut || second.Cut != fresh.Cut {
+				t.Fatalf("%s/%s: cut diverges", name, mode)
+			}
+		}
+	}
+}
+
+// TestRunWorkersByteIdentical pins that the Workers knob trades cores for
+// wall-clock only: any worker count must reproduce the serial result
+// byte-identically.
+func TestRunWorkersByteIdentical(t *testing.T) {
+	for name, g := range perfFamilies() {
+		cfg := NewConfig(Fast, 8)
+		cfg.Seed = 7
+		cfg.Workers = 1
+		serial, err := Run(context.Background(), g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 16} {
+			cfg.Workers = workers
+			got, err := Run(context.Background(), g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range serial.Blocks {
+				if got.Blocks[v] != serial.Blocks[v] {
+					t.Fatalf("%s: Workers=%d diverges from serial at node %d", name, workers, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSharedArenaConcurrent runs several partitions concurrently on ONE
+// shared arena; under -race this doubles as the data-race check for the
+// arena itself, and the results must match isolated runs.
+func TestRunSharedArenaConcurrent(t *testing.T) {
+	g := RGG(11, 33)
+	cfg := NewConfig(Fast, 8)
+	cfg.Seed = 99
+	cfg.Workers = 4
+	want, err := Run(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	const runs = 4
+	results := make([]Result, runs)
+	errs := make([]error, runs)
+	done := make(chan int, runs)
+	for i := 0; i < runs; i++ {
+		go func(i int) {
+			results[i], errs[i] = Run(context.Background(), g, cfg, WithArena(arena))
+			done <- i
+		}(i)
+	}
+	for i := 0; i < runs; i++ {
+		<-done
+	}
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		for v := range want.Blocks {
+			if results[i].Blocks[v] != want.Blocks[v] {
+				t.Fatalf("concurrent run %d diverges at node %d", i, v)
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/mem"
 	"repro/internal/part"
 )
 
@@ -91,6 +92,23 @@ func WithObserver(o Observer) Option { return core.WithObserver(o) }
 // channel-backed Exchanger — the seam a future RPC or MPI backend plugs
 // into. t.PEs() must match the configured PE count.
 func WithTransport(t Transport) Option { return core.WithTransport(t) }
+
+// Arena is a reusable pool of the scratch buffers the multilevel kernels
+// work in (matching candidate arrays, contraction member lists and scatter
+// arrays, refinement bands, projection ping-pong buffers). Each Run gets a
+// private arena by default; passing one with WithArena lets repeated runs —
+// benchmark repetitions, a long-lived partitioning service — reuse a single
+// working set instead of re-allocating it per run. Arenas are safe for
+// concurrent use, including concurrent Runs sharing one arena. Results are
+// byte-identical with and without arena reuse.
+type Arena = mem.Arena
+
+// NewArena returns an empty Arena; it grows to the workloads it serves.
+func NewArena() *Arena { return mem.NewArena() }
+
+// WithArena makes the run draw its scratch buffers from a instead of a
+// run-private arena; see Arena.
+func WithArena(a *Arena) Option { return core.WithArena(a) }
 
 // Observer receives TraceEvents during a Run; see WithObserver.
 type Observer = core.Observer

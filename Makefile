@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test check docs fmt bench bench-smoke bench-json examples race
+.PHONY: all vet build test check docs fmt bench bench-smoke bench-json examples race fuzz
 
 all: check
 
@@ -47,4 +47,13 @@ examples:
 # race runs the race detector over the concurrency-heavy packages plus the
 # pipeline contract tests (context cancellation, transport swap).
 race:
-	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist .
+	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist ./internal/remote .
+
+# fuzz smokes the native Go fuzz targets of the file-format parsers (METIS
+# text, binary CSR) for a few seconds each; CI runs this so the parsers can
+# never regress into panicking on malformed files. Longer local sessions:
+#   go test ./internal/graphio -run=^$ -fuzz=FuzzReadMETIS -fuzztime=5m
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/graphio -run=^$$ -fuzz=FuzzReadMETIS -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/graphio -run=^$$ -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME)

@@ -1,31 +1,48 @@
-// Command gengraph emits benchmark graphs in METIS format.
+// Command gengraph emits benchmark graphs through the graphio codec layer.
 //
 //	gengraph -type rgg -scale 15 > rgg15.graph
-//	gengraph -type road -n 40000 -out deu.graph
+//	gengraph -type road -n 40000 -o deu.graph
+//	gengraph -type grid3d -w 32 -h 32 -d 8 -format bin -o grid.bgraph
+//
+// The output format is METIS text by default; -format bin (or a .bgraph/.bin
+// extension with -format auto) selects the compact binary encoding, which
+// also preserves node coordinates.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/graphio"
 )
 
 func main() {
 	var (
-		typ   = flag.String("type", "rgg", "rgg | delaunay | grid | grid3d | road | social | rmat | fem | banded | er")
-		scale = flag.Int("scale", 14, "log2 node count (rgg, delaunay, rmat)")
-		n     = flag.Int("n", 10000, "node count (road, social, fem, banded, er)")
-		w     = flag.Int("w", 64, "grid width / 3d x")
-		h     = flag.Int("h", 64, "grid height / 3d y")
-		d     = flag.Int("d", 8, "3d z; social attachment degree")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		out   = flag.String("out", "", "output file (default stdout)")
+		typ    = flag.String("type", "rgg", "rgg | delaunay | grid | grid3d | road | social | rmat | fem | banded | er")
+		scale  = flag.Int("scale", 14, "log2 node count (rgg, delaunay, rmat)")
+		n      = flag.Int("n", 10000, "node count (road, social, fem, banded, er)")
+		w      = flag.Int("w", 64, "grid width / 3d x")
+		h      = flag.Int("h", 64, "grid height / 3d y")
+		d      = flag.Int("d", 8, "3d z; social attachment degree")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+		outOld = flag.String("out", "", "alias of -o")
+		format = flag.String("format", "auto", "output format: auto | metis | bin (auto picks by extension, metis on stdout)")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+
+	f, err := graphio.ParseFormat(*format)
+	if err != nil {
+		fail(err)
+	}
 
 	var g *graph.Graph
 	switch *typ {
@@ -50,25 +67,19 @@ func main() {
 	case "er":
 		g = gen.ErdosRenyi(*n, 8**n, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "gengraph: unknown type %q\n", *typ)
-		os.Exit(1)
+		fail(fmt.Errorf("unknown type %q", *typ))
 	}
 
-	var f *os.File = os.Stdout
-	if *out != "" {
-		var err error
-		f, err = os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gengraph:", err)
-			os.Exit(1)
+	path := *out
+	if path == "" {
+		path = *outOld
+	}
+	if path == "" {
+		if err := graphio.Write(os.Stdout, g, f); err != nil {
+			fail(err)
 		}
-		defer f.Close()
+	} else if err := graphio.WriteFile(path, g, f); err != nil {
+		fail(err)
 	}
-	bw := bufio.NewWriter(f)
-	if err := g.WriteMetis(bw); err != nil {
-		fmt.Fprintln(os.Stderr, "gengraph:", err)
-		os.Exit(1)
-	}
-	bw.Flush()
-	fmt.Fprintf(os.Stderr, "gengraph: %s n=%d m=%d\n", *typ, g.NumNodes(), g.NumEdges())
+	fmt.Fprintf(os.Stderr, "gengraph: %s n=%d m=%d format=%s\n", *typ, g.NumNodes(), g.NumEdges(), f)
 }

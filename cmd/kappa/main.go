@@ -1,12 +1,20 @@
 // Command kappa partitions a graph with the KaPPa partitioner.
 //
-// The input is either a METIS-format graph file or a named synthetic
-// generator. Examples:
+// The input is a graph file (METIS text or binary .bgraph, format sniffed)
+// or a named synthetic generator. Examples:
 //
 //	kappa -in mesh.graph -k 16 -preset strong -out mesh.part
 //	kappa -gen rgg:15 -k 64 -preset fast
 //	kappa -gen road:40000 -k 8 -eps 0.05 -seed 7
 //	kappa -gen grid3d:32x32x8 -k 8 -progress -timeout 30s
+//
+// The serve/worker subcommands run the out-of-process backend — one
+// coordinator plus one worker process per PE, byte-identical to the
+// in-process `-coarsen distributed` run at the same seed:
+//
+//	kappa serve -in mesh.graph -k 8 -pes 2 -listen 127.0.0.1:2177 &
+//	kappa worker -connect 127.0.0.1:2177 &
+//	kappa worker -connect 127.0.0.1:2177
 //
 // Configuration errors (bad preset, bad flag values, invalid parameter
 // combinations) exit 2; runtime errors (missing files, exceeded -timeout)
@@ -29,6 +37,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/graphio"
 	"repro/internal/part"
 )
 
@@ -50,8 +59,21 @@ func fail(err error) {
 }
 
 func main() {
+	// Subcommands of the out-of-process backend: `kappa serve` runs the
+	// coordinator, `kappa worker` one PE process. Everything else is the
+	// classic single-process flag interface.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "worker":
+			runWorker(os.Args[2:])
+			return
+		}
+	}
 	var (
-		inFile   = flag.String("in", "", "input graph in METIS format")
+		inFile   = flag.String("in", "", "input graph file (METIS or binary; format sniffed)")
 		genSpec  = flag.String("gen", "", "generator spec: rgg:S | delaunay:S | grid:WxH | grid3d:XxYxZ | road:N | social:N | rmat:S | fem:N | banded:N")
 		k        = flag.Int("k", 2, "number of blocks")
 		preset   = flag.String("preset", "fast", "minimal | fast | strong")
@@ -113,16 +135,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	var variant core.Variant
-	switch strings.ToLower(*preset) {
-	case "minimal":
-		variant = core.Minimal
-	case "fast":
-		variant = core.Fast
-	case "strong":
-		variant = core.Strong
-	default:
-		fail(fmt.Errorf("%w: unknown preset %q", core.ErrInvalidConfig, *preset))
+	variant, err := parsePreset(*preset)
+	if err != nil {
+		fail(err)
 	}
 	cfg := core.NewConfig(variant, *k)
 	cfg.Eps = *eps
@@ -247,12 +262,9 @@ func writePartition(path string, blocks []int32) {
 func loadGraph(inFile, genSpec string) (*graph.Graph, error) {
 	switch {
 	case inFile != "":
-		f, err := os.Open(inFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.ReadMetis(f)
+		// Format is sniffed from the content, so -in takes METIS text and
+		// binary .bgraph files alike.
+		return graphio.ReadFile(inFile)
 	case genSpec != "":
 		g, err := generate(genSpec)
 		if err != nil {

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/part"
+	"repro/internal/remote"
+)
+
+// runServe is the `kappa serve` subcommand: the coordinator of the
+// out-of-process backend. It loads (or generates) the graph, listens for
+// -pes worker processes, distributes the contraction phase across them, and
+// runs initial partitioning and refinement locally — the paper's
+// one-process-per-PE model over sockets. Results are byte-identical to the
+// in-process `kappa -coarsen distributed` run at the same seed.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("kappa serve", flag.ExitOnError)
+	var (
+		inFile   = fs.String("in", "", "input graph file (METIS or binary; format sniffed)")
+		genSpec  = fs.String("gen", "", "generator spec (see kappa -gen)")
+		k        = fs.Int("k", 2, "number of blocks")
+		preset   = fs.String("preset", "fast", "minimal | fast | strong")
+		eps      = fs.Float64("eps", 0.03, "allowed imbalance")
+		seed     = fs.Uint64("seed", 0, "random seed")
+		pes      = fs.Int("pes", 0, "number of worker processes to wait for (default: k)")
+		distFl   = fs.String("dist", "auto", "node-to-PE distribution: auto | ranges | rcb | sfc")
+		listen   = fs.String("listen", "127.0.0.1:2177", "address to accept workers on (host:port, or a path with -network unix)")
+		network  = fs.String("network", "tcp", "listener network: tcp | unix")
+		outFile  = fs.String("out", "", "write the block of each node, one per line")
+		progress = fs.Bool("progress", false, "print pipeline trace events to stderr")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this duration; 0 = no limit")
+	)
+	fs.Parse(args)
+
+	g, err := loadGraph(*inFile, *genSpec)
+	if err != nil {
+		fail(err)
+	}
+	variant, err := parsePreset(*preset)
+	if err != nil {
+		fail(err)
+	}
+	cfg := core.NewConfig(variant, *k)
+	cfg.Eps = *eps
+	cfg.Seed = *seed
+	cfg.PEs = *pes
+	strategy, err := dist.ParseStrategy(*distFl)
+	if err != nil {
+		fail(fmt.Errorf("%w: %v", core.ErrInvalidConfig, err))
+	}
+	cfg.Distribution = strategy
+	cfg.Coarsen = core.CoarsenDistributed
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var opts []core.Option
+	if *progress {
+		opts = append(opts, core.WithObserver(core.ObserverFunc(func(ev core.TraceEvent) {
+			fmt.Fprintln(os.Stderr, "kappa:", ev)
+		})))
+	}
+
+	ln, err := net.Listen(*network, *listen)
+	if err != nil {
+		fail(err)
+	}
+	defer ln.Close()
+	fmt.Fprintf(os.Stderr, "kappa: serving on %s, waiting for %d workers\n", ln.Addr(), cfg.NumPEs())
+
+	res, err := remote.Serve(ctx, ln, g, cfg, opts...)
+	if err != nil {
+		fail(err)
+	}
+	p := part.FromBlocks(g, *k, *eps, res.Blocks)
+	fmt.Printf("graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("preset    %s (k=%d, eps=%.2f, dist=%s, pes=%d workers)\n", variant, *k, *eps, strategy, cfg.NumPEs())
+	fmt.Printf("cut       %d\n", res.Cut)
+	fmt.Printf("balance   %.4f (Lmax %d, feasible %v)\n", res.Balance, p.Lmax(), p.Feasible())
+	fmt.Printf("levels    %d\n", res.Levels)
+	fmt.Printf("time      total %v (coarsen %v, init %v, refine %v)\n",
+		res.TotalTime.Round(1e6), res.CoarsenTime.Round(1e6), res.InitTime.Round(1e6), res.RefineTime.Round(1e6))
+	if *outFile != "" {
+		writePartition(*outFile, res.Blocks)
+		fmt.Printf("partition written to %s\n", *outFile)
+	}
+}
+
+// runWorker is the `kappa worker` subcommand: one processing element of the
+// out-of-process backend. It connects to a coordinator, receives its PE
+// assignment and per-level subgraph shards, and runs the PE-local
+// matching/contraction kernels over the socket transport.
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("kappa worker", flag.ExitOnError)
+	var (
+		connect = fs.String("connect", "127.0.0.1:2177", "coordinator address")
+		network = fs.String("network", "tcp", "coordinator network: tcp | unix")
+		outFile = fs.String("out", "", "write the final partition broadcast by the coordinator, one block per line")
+		timeout = fs.Duration("timeout", 0, "give up after this duration; 0 = no limit")
+	)
+	fs.Parse(args)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	wr, err := remote.Work(ctx, *network, *connect)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "kappa: worker PE %d done after %d levels\n", wr.PE, wr.Levels)
+	if *outFile != "" && wr.Partition != nil {
+		writePartition(*outFile, wr.Partition)
+	}
+}
+
+// parsePreset maps a preset name to its variant.
+func parsePreset(name string) (core.Variant, error) {
+	switch strings.ToLower(name) {
+	case "minimal":
+		return core.Minimal, nil
+	case "fast":
+		return core.Fast, nil
+	case "strong":
+		return core.Strong, nil
+	default:
+		return core.Fast, fmt.Errorf("%w: unknown preset %q", core.ErrInvalidConfig, name)
+	}
+}

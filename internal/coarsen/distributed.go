@@ -8,18 +8,20 @@ import (
 	"repro/internal/matching"
 )
 
-// peContraction is what one PE contributes to the stitched coarse graph: the
+// PEContraction is what one PE contributes to the stitched coarse graph: the
 // coarse nodes it owns (weights, coordinates) and its share of the coarse
-// edges, all in coarse *global* ids.
-type peContraction struct {
-	firstCoarse int32   // global id of this PE's first coarse node
-	weights     []int64 // per owned coarse node, in id order
-	cx, cy, cz  []float64
-	edgeU       []int32 // coarse edge contributions (deterministic order)
-	edgeV       []int32
-	edgeW       []int64
-	fineGlobal  []int32 // owned fine nodes (global ids) ...
-	fineCoarse  []int32 // ... and their coarse global ids, parallel
+// edges, all in coarse *global* ids. The fields are exported because the
+// value crosses process boundaries in the out-of-process backend
+// (internal/wire encodes it; the coordinator stitches the decoded parts).
+type PEContraction struct {
+	FirstCoarse int32   // global id of this PE's first coarse node
+	Weights     []int64 // per owned coarse node, in id order
+	CX, CY, CZ  []float64
+	EdgeU       []int32 // coarse edge contributions (deterministic order)
+	EdgeV       []int32
+	EdgeW       []int64
+	FineGlobal  []int32 // owned fine nodes (global ids) ...
+	FineCoarse  []int32 // ... and their coarse global ids, parallel
 }
 
 // ContractDistributed contracts a distributed matching PE-locally: every PE
@@ -38,55 +40,63 @@ type peContraction struct {
 // and the fine→coarse node map of the global graph.
 func ContractDistributed(g *graph.Graph, sgs []*dist.Subgraph, ms []matching.Matching, ex dist.Transport) (*graph.Graph, []int32) {
 	pes := len(sgs)
-	parts := make([]*peContraction, pes)
+	parts := make([]*PEContraction, pes)
 	var wg sync.WaitGroup
 	for pe := 0; pe < pes; pe++ {
 		wg.Add(1)
 		go func(pe int) {
 			defer wg.Done()
-			parts[pe] = contractSubgraph(sgs[pe], ms[pe], ex, pe)
+			parts[pe] = ContractSubgraph(sgs[pe], ms[pe], ex, pe)
 		}(pe)
 	}
 	wg.Wait()
+	return Stitch(g, parts)
+}
 
-	// Stitch sequentially in PE order; every per-PE list is deterministic,
-	// so the assembled coarse graph is too.
+// Stitch assembles the per-PE contraction contributions into the next-level
+// global coarse graph and the fine→coarse map. Parts must be ordered by PE;
+// every per-PE list is deterministic, so the assembled graph is too.
+func Stitch(g *graph.Graph, parts []*PEContraction) (*graph.Graph, []int32) {
 	total := 0
 	for _, p := range parts {
-		total += len(p.weights)
+		total += len(p.Weights)
 	}
 	b := graph.NewBuilder(total)
 	for _, p := range parts {
-		for i, w := range p.weights {
-			b.SetNodeWeight(p.firstCoarse+int32(i), w)
+		for i, w := range p.Weights {
+			b.SetNodeWeight(p.FirstCoarse+int32(i), w)
 		}
 		if g.CoordDims() == 3 {
-			for i := range p.weights {
-				b.SetCoord3(p.firstCoarse+int32(i), p.cx[i], p.cy[i], p.cz[i])
+			for i := range p.Weights {
+				b.SetCoord3(p.FirstCoarse+int32(i), p.CX[i], p.CY[i], p.CZ[i])
 			}
 		} else if g.HasCoords() {
-			for i := range p.weights {
-				b.SetCoord(p.firstCoarse+int32(i), p.cx[i], p.cy[i])
+			for i := range p.Weights {
+				b.SetCoord(p.FirstCoarse+int32(i), p.CX[i], p.CY[i])
 			}
 		}
-		for i := range p.edgeU {
-			b.AddEdge(p.edgeU[i], p.edgeV[i], p.edgeW[i])
+		for i := range p.EdgeU {
+			b.AddEdge(p.EdgeU[i], p.EdgeV[i], p.EdgeW[i])
 		}
 	}
 	fine2coarse := make([]int32, g.NumNodes())
 	for _, p := range parts {
-		for i, gv := range p.fineGlobal {
-			fine2coarse[gv] = p.fineCoarse[i]
+		for i, gv := range p.FineGlobal {
+			fine2coarse[gv] = p.FineCoarse[i]
 		}
 	}
 	return b.Build(), fine2coarse
 }
 
-// contractSubgraph is the per-PE worker of ContractDistributed.
-func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex dist.Transport, pe int) *peContraction {
+// ContractSubgraph is the per-PE side of ContractDistributed: the superstep
+// sequence ONE processing element executes to contract its shard. Like
+// matching.MatchSubgraph it is exported so an out-of-process worker can run
+// exactly the in-process code path against a SocketTransport and ship the
+// resulting PEContraction back to the coordinator for Stitch.
+func ContractSubgraph(sg *dist.Subgraph, m matching.Matching, ex dist.Transport, pe int) *PEContraction {
 	g := sg.Local
 	owned := sg.NumOwned
-	p := &peContraction{}
+	p := &PEContraction{}
 
 	// Step 1: decide, for every owned node, which coarse node it joins and
 	// who owns that coarse node. Owned nodes are stored in ascending global
@@ -130,18 +140,18 @@ func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex dist.Transport,
 			base += int32(msg.W)
 		}
 	}
-	p.firstCoarse = base
+	p.FirstCoarse = base
 
 	// Owned coarse node weights and coordinates: the pair partner — even a
 	// ghost one — has its weight and coordinates copied into the subgraph,
 	// so both are computable locally.
-	p.weights = make([]int64, nOwn)
+	p.Weights = make([]int64, nOwn)
 	hasCoords := g.HasCoords()
 	if hasCoords {
-		p.cx = make([]float64, nOwn)
-		p.cy = make([]float64, nOwn)
+		p.CX = make([]float64, nOwn)
+		p.CY = make([]float64, nOwn)
 		if g.CoordDims() == 3 {
-			p.cz = make([]float64, nOwn)
+			p.CZ = make([]float64, nOwn)
 		}
 	}
 	members := make([]int32, nOwn) // member count per owned coarse node
@@ -158,10 +168,10 @@ func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex dist.Transport,
 	}
 	for c := int32(0); c < nOwn; c++ {
 		if hasCoords && members[c] > 0 {
-			p.cx[c] /= float64(members[c])
-			p.cy[c] /= float64(members[c])
-			if p.cz != nil {
-				p.cz[c] /= float64(members[c])
+			p.CX[c] /= float64(members[c])
+			p.CY[c] /= float64(members[c])
+			if p.CZ != nil {
+				p.CZ[c] /= float64(members[c])
 			}
 		}
 	}
@@ -240,30 +250,30 @@ func contractSubgraph(sg *dist.Subgraph, m matching.Matching, ex dist.Transport,
 			if cu == cGlobal[lv] || cu < 0 {
 				continue
 			}
-			p.edgeU = append(p.edgeU, cGlobal[lv])
-			p.edgeV = append(p.edgeV, cu)
-			p.edgeW = append(p.edgeW, ws[i])
+			p.EdgeU = append(p.EdgeU, cGlobal[lv])
+			p.EdgeV = append(p.EdgeV, cu)
+			p.EdgeW = append(p.EdgeW, ws[i])
 		}
 	}
 
-	p.fineGlobal = make([]int32, owned)
-	p.fineCoarse = make([]int32, owned)
+	p.FineGlobal = make([]int32, owned)
+	p.FineCoarse = make([]int32, owned)
 	for lv := int32(0); lv < int32(owned); lv++ {
-		p.fineGlobal[lv] = sg.ToGlobal(lv)
-		p.fineCoarse[lv] = cGlobal[lv]
+		p.FineGlobal[lv] = sg.ToGlobal(lv)
+		p.FineCoarse[lv] = cGlobal[lv]
 	}
 	return p
 }
 
 // addMember folds fine node lv into owned coarse node c.
-func addMember(p *peContraction, g *graph.Graph, c, lv int32, members []int32, hasCoords bool) {
-	p.weights[c] += g.NodeWeight(lv)
+func addMember(p *PEContraction, g *graph.Graph, c, lv int32, members []int32, hasCoords bool) {
+	p.Weights[c] += g.NodeWeight(lv)
 	if hasCoords {
 		x, y, z := g.Coord3(lv)
-		p.cx[c] += x
-		p.cy[c] += y
-		if p.cz != nil {
-			p.cz[c] += z
+		p.CX[c] += x
+		p.CY[c] += y
+		if p.CZ != nil {
+			p.CZ[c] += z
 		}
 	}
 	members[c]++

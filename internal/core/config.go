@@ -218,12 +218,16 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-func (c *Config) pes() int {
+// NumPEs returns the effective PE count of the configuration: PEs when set,
+// otherwise K (the paper identifies PEs with blocks).
+func (c *Config) NumPEs() int {
 	if c.PEs > 0 {
 		return c.PEs
 	}
 	return c.K
 }
+
+func (c *Config) pes() int { return c.NumPEs() }
 
 func (c *Config) workers() int {
 	if c.Workers > 0 {

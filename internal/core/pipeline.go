@@ -286,15 +286,25 @@ func (strategyDistributor) Distribute(ctx context.Context, g *graph.Graph, cfg *
 	return dist.Assign(g, cfg.Distribution, pes), nil
 }
 
-// matchingCoarsener is the default Coarsener: parallel matching-based
-// contraction until the stop rule of §4 fires: fewer than
-// max(20·P, n/(α·k²), 2k) nodes remain — the per-PE threshold
-// max(20, n/(αk²)) of the paper summed over PEs — or the graph stops
-// shrinking.
-type matchingCoarsener struct{}
+// LevelKernel performs one contraction level: match cur (with blocks as the
+// node-to-PE assignment when PEs > 1, nil otherwise) and contract the
+// matching into the next coarser graph. It returns the coarse graph, the
+// fine→coarse node map, and the matching/contraction kernel times — or a nil
+// graph to signal an empty matching (the graph cannot shrink further).
+// CoarsenWith drives a kernel through the paper's stop rule; the default
+// kernels run in-process, internal/remote's kernel ships each PE its shard
+// and runs the level across worker processes.
+type LevelKernel func(ctx context.Context, cur *graph.Graph, cfg *Config, blocks []int32, level int, maxPair int64) (cg *graph.Graph, f2c []int32, matchT, contractT time.Duration, err error)
 
-func (matchingCoarsener) Coarsen(ctx context.Context, g *graph.Graph, cfg *Config, env *Env) (*coarsen.Hierarchy, error) {
-	pes := cfg.pes()
+// CoarsenWith runs the contraction loop of §3/§4 around a per-level kernel:
+// fewer than max(20·P, n/(α·k²), 2k) nodes remain — the per-PE threshold
+// max(20, n/(αk²)) of the paper summed over PEs — or the graph stops
+// shrinking geometrically. It computes the per-level node distribution, the
+// cluster-weight cap, and emits one LevelEvent per pushed level, so every
+// Coarsener built on it (in-process or out-of-process) shares the exact
+// same hierarchy policy.
+func CoarsenWith(ctx context.Context, g *graph.Graph, cfg *Config, env *Env, kernel LevelKernel) (*coarsen.Hierarchy, error) {
+	pes := cfg.NumPEs()
 	n0 := float64(g.NumNodes())
 	threshold := int(n0 / (cfg.StopAlpha * float64(cfg.K) * float64(cfg.K)))
 	if t := 20 * pes; threshold < t {
@@ -326,13 +336,9 @@ func (matchingCoarsener) Coarsen(ctx context.Context, g *graph.Graph, cfg *Confi
 				return nil, err
 			}
 		}
-		var cg *graph.Graph
-		var f2c []int32
-		var matchT, contractT time.Duration
-		if pes > 1 && cfg.Coarsen == CoarsenDistributed {
-			cg, f2c, matchT, contractT = distributedLevel(cur, cfg, blocks, env.transportFor(pes), pes, level, maxPair)
-		} else {
-			cg, f2c, matchT, contractT = sharedLevel(cur, cfg, blocks, pes, level, maxPair, env.Arena)
+		cg, f2c, matchT, contractT, err := kernel(ctx, cur, cfg, blocks, level, maxPair)
+		if err != nil {
+			return nil, err
 		}
 		if cg == nil {
 			break // empty matching: the graph cannot shrink further
@@ -353,6 +359,26 @@ func (matchingCoarsener) Coarsen(ctx context.Context, g *graph.Graph, cfg *Confi
 		})
 	}
 	return h, nil
+}
+
+// matchingCoarsener is the default Coarsener: the CoarsenWith loop around
+// the in-process level kernels — shared-memory matching/contraction, or the
+// PE-local distributed kernel over the Env's Transport, per cfg.Coarsen.
+type matchingCoarsener struct{}
+
+func (matchingCoarsener) Coarsen(ctx context.Context, g *graph.Graph, cfg *Config, env *Env) (*coarsen.Hierarchy, error) {
+	pes := cfg.NumPEs()
+	return CoarsenWith(ctx, g, cfg, env, func(ctx context.Context, cur *graph.Graph, cfg *Config, blocks []int32, level int, maxPair int64) (*graph.Graph, []int32, time.Duration, time.Duration, error) {
+		var cg *graph.Graph
+		var f2c []int32
+		var matchT, contractT time.Duration
+		if pes > 1 && cfg.Coarsen == CoarsenDistributed {
+			cg, f2c, matchT, contractT = distributedLevel(cur, cfg, blocks, env.transportFor(pes), pes, level, maxPair)
+		} else {
+			cg, f2c, matchT, contractT = sharedLevel(cur, cfg, blocks, pes, level, maxPair, env.Arena)
+		}
+		return cg, f2c, matchT, contractT, nil
+	})
 }
 
 // repeatInitialPartitioner is the default InitialPartitioner: cfg.InitRepeats

@@ -103,9 +103,11 @@ func Assign(g *graph.Graph, s Strategy, pes int) []int32 {
 			return RCBWeightedDims(g.CoordSlices(), nodeWeights(g), pes)
 		}
 	case StrategySFC:
+		if g.CoordDims() == 3 {
+			x, y, z := g.Coords3()
+			return Hilbert3DWeighted(x, y, z, nodeWeights(g), pes)
+		}
 		if g.HasCoords() {
-			// The Hilbert curve is 2D; 3D inputs are ordered by their x/y
-			// projection (still geometric, unlike the ranges fallback).
 			x, y := g.Coords()
 			return HilbertWeighted(x, y, nodeWeights(g), pes)
 		}

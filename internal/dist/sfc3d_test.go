@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestHilbert3DKeyAdjacency(t *testing.T) {
+	// Consecutive curve positions are grid neighbors — the defining Hilbert
+	// property, checked exhaustively on an 8x8x8 grid.
+	const order = 3
+	type pt struct{ x, y, z uint32 }
+	pos := make(map[uint64]pt)
+	const cell = uint32(1) << (sfcOrder3D - order)
+	for x := uint32(0); x < 1<<order; x++ {
+		for y := uint32(0); y < 1<<order; y++ {
+			for z := uint32(0); z < 1<<order; z++ {
+				key := hilbert3DKey(x*cell, y*cell, z*cell)
+				pos[key] = pt{x, y, z}
+			}
+		}
+	}
+	if len(pos) != 512 {
+		t.Fatalf("got %d distinct keys for 512 cells", len(pos))
+	}
+	keys := make([]uint64, 0, 512)
+	for k := range pos {
+		keys = append(keys, k)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		a, b := pos[keys[i-1]], pos[keys[i]]
+		dx, dy, dz := int(a.x)-int(b.x), int(a.y)-int(b.y), int(a.z)-int(b.z)
+		if dx*dx+dy*dy+dz*dz != 1 {
+			t.Fatalf("curve jump between (%d,%d,%d) and (%d,%d,%d)",
+				a.x, a.y, a.z, b.x, b.y, b.z)
+		}
+	}
+}
+
+func TestMorton3DKeyDistinct(t *testing.T) {
+	const order = 3
+	const cell = uint32(1) << (sfcOrder3D - order)
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 1<<order; x++ {
+		for y := uint32(0); y < 1<<order; y++ {
+			for z := uint32(0); z < 1<<order; z++ {
+				k := morton3DKey(x*cell, y*cell, z*cell)
+				if seen[k] {
+					t.Fatalf("duplicate Morton key for (%d,%d,%d)", x, y, z)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+// TestHilbert3DLocality is the ROADMAP regression: on 3D meshes the real 3D
+// Hilbert ordering must keep at least as much edge weight PE-internal as the
+// Morton (Z-order) comparison point, and strictly more than the old x/y
+// projection on instances where the projection collapses the z axis.
+func TestHilbert3DLocality(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		pes  int
+	}{
+		{"grid3d-cube", gen.Grid3D(16, 16, 16), 7},
+		{"grid3d-slab", gen.Grid3D(24, 24, 6), 5},
+		{"grid3d-tall", gen.Grid3D(6, 6, 96), 7},
+	} {
+		x, y, z := tc.g.Coords3()
+		hil := Hilbert3D(x, y, z, tc.pes)
+		mor := Morton3D(x, y, z, tc.pes)
+		proj := Hilbert(x, y, tc.pes)
+		lh := EdgeLocality(tc.g, hil)
+		lm := EdgeLocality(tc.g, mor)
+		lp := EdgeLocality(tc.g, proj)
+		t.Logf("%s: hilbert3d %.4f morton3d %.4f xy-projection %.4f", tc.name, lh, lm, lp)
+		if lh < lm {
+			t.Errorf("%s: 3D Hilbert locality %.4f below Morton %.4f", tc.name, lh, lm)
+		}
+		if tc.name == "grid3d-tall" && lh <= lp {
+			t.Errorf("%s: 3D Hilbert locality %.4f not above x/y projection %.4f", tc.name, lh, lp)
+		}
+		if im := Imbalance(tc.g, hil, tc.pes); im > 1.05 {
+			t.Errorf("%s: 3D Hilbert imbalance %.4f", tc.name, im)
+		}
+	}
+}
+
+// TestAssignUses3DHilbert pins the Assign wiring: a 3D graph under
+// StrategySFC gets the 3D curve, not the x/y projection.
+func TestAssignUses3DHilbert(t *testing.T) {
+	g := gen.Grid3D(8, 8, 8)
+	x, y, z := g.Coords3()
+	want := Hilbert3DWeighted(x, y, z, nodeWeights(g), 4)
+	got := Assign(g, StrategySFC, 4)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("Assign(SFC) diverges from Hilbert3DWeighted at node %d", v)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/graph"
@@ -22,6 +23,37 @@ type Subgraph struct {
 	GhostOwner    []int32 // owner PE of each ghost, parallel to local ids NumOwned...
 
 	globalToLocal map[int32]int32
+}
+
+// NewSubgraph reassembles a Subgraph from its parts — the constructor the
+// wire codec uses after shipping a shard to another process. local's nodes
+// must be ordered owned-first; localToGlobal must have one entry per local
+// node and ghostOwner one per ghost. The global→local index is rebuilt here.
+func NewSubgraph(pe int32, local *graph.Graph, numOwned int, localToGlobal, ghostOwner []int32) (*Subgraph, error) {
+	if numOwned < 0 || numOwned > local.NumNodes() {
+		return nil, fmt.Errorf("dist: owned count %d out of range [0, %d]", numOwned, local.NumNodes())
+	}
+	if len(localToGlobal) != local.NumNodes() {
+		return nil, fmt.Errorf("dist: id map has %d entries for %d local nodes", len(localToGlobal), local.NumNodes())
+	}
+	if len(ghostOwner) != local.NumNodes()-numOwned {
+		return nil, fmt.Errorf("dist: ghost owner list has %d entries for %d ghosts", len(ghostOwner), local.NumNodes()-numOwned)
+	}
+	s := &Subgraph{
+		PE:            pe,
+		Local:         local,
+		NumOwned:      numOwned,
+		LocalToGlobal: localToGlobal,
+		GhostOwner:    ghostOwner,
+		globalToLocal: make(map[int32]int32, len(localToGlobal)),
+	}
+	for lv, gv := range localToGlobal {
+		if _, dup := s.globalToLocal[gv]; dup {
+			return nil, fmt.Errorf("dist: global id %d appears twice in shard", gv)
+		}
+		s.globalToLocal[gv] = int32(lv)
+	}
+	return s, nil
 }
 
 // NumGhosts returns the size of the halo layer.

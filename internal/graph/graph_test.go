@@ -1,8 +1,6 @@
 package graph
 
 import (
-	"bytes"
-	"strings"
 	"testing"
 	"testing/quick"
 
@@ -203,82 +201,7 @@ func TestComputeStats(t *testing.T) {
 	}
 }
 
-func TestMetisRoundTrip(t *testing.T) {
-	b := NewBuilder(4)
-	b.SetNodeWeight(0, 3)
-	b.AddEdge(0, 1, 2)
-	b.AddEdge(1, 2, 1)
-	b.AddEdge(2, 3, 9)
-	b.AddEdge(0, 3, 1)
-	g := b.Build()
-	var buf bytes.Buffer
-	if err := g.WriteMetis(&buf); err != nil {
-		t.Fatal(err)
-	}
-	g2, err := ReadMetis(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
-		t.Fatalf("round trip changed size")
-	}
-	for v := int32(0); v < 4; v++ {
-		if g2.NodeWeight(v) != g.NodeWeight(v) {
-			t.Fatal("node weight changed")
-		}
-		for i, u := range g.Adj(v) {
-			if g2.EdgeWeightTo(v, u) != g.AdjWeights(v)[i] {
-				t.Fatal("edge weight changed")
-			}
-		}
-	}
-}
-
-func TestMetisRoundTripUnweighted(t *testing.T) {
-	g := path5()
-	var buf bytes.Buffer
-	if err := g.WriteMetis(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.HasPrefix(buf.String(), "5 4\n") {
-		t.Fatalf("unexpected header: %q", buf.String()[:10])
-	}
-	g2, err := ReadMetis(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := g2.Validate(); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestReadMetisComments(t *testing.T) {
-	in := "% a comment\n3 2\n2\n1 3\n2\n"
-	g, err := ReadMetis(strings.NewReader(in))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g.NumNodes() != 3 || g.NumEdges() != 2 {
-		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
-	}
-}
-
-func TestReadMetisErrors(t *testing.T) {
-	cases := []string{
-		"",                // empty
-		"x y\n",           // bad header
-		"2 1\n2\n",        // missing line for node 2
-		"2 5\n2\n1\n",     // wrong edge count
-		"2 1 7\n2\n1\n",   // unknown format code
-		"2 1\n9\n1\n",     // neighbor out of range
-		"2 1 1\n2\n1 2\n", // missing edge weight on first line
-	}
-	for _, in := range cases {
-		if _, err := ReadMetis(strings.NewReader(in)); err == nil {
-			t.Errorf("ReadMetis accepted %q", in)
-		}
-	}
-}
+// The METIS/binary file codecs (and their tests) live in internal/graphio.
 
 // TestBuilderRandomInvariants: random multigraph input always yields a valid
 // simple graph whose total weight matches the sum of added weights.

@@ -44,15 +44,20 @@ func DistributedBounded(sgs []*dist.Subgraph, ex dist.Transport, rf rating.Func,
 		wg.Add(1)
 		go func(pe int) {
 			defer wg.Done()
-			out[pe] = matchSubgraph(sgs[pe], ex, rf, alg, seed, maxPair, boundary, pe)
+			out[pe] = MatchSubgraph(sgs[pe], ex, rf, alg, seed, maxPair, boundary, pe)
 		}(pe)
 	}
 	wg.Wait()
 	return out
 }
 
-// matchSubgraph is the per-PE worker of DistributedBounded.
-func matchSubgraph(sg *dist.Subgraph, ex dist.Transport, rf rating.Func, alg Algorithm, seed uint64, maxPair int64, boundary bool, pe int) Matching {
+// MatchSubgraph is the per-PE side of DistributedBounded: the superstep
+// sequence ONE processing element executes against its own subgraph shard.
+// In-process runs spawn it per PE over a shared Transport; an out-of-process
+// worker (kappa worker) calls it directly with its shard and a
+// SocketTransport, which is what makes the distributed matching phase
+// runnable one-OS-process-per-PE without a second code path.
+func MatchSubgraph(sg *dist.Subgraph, ex dist.Transport, rf rating.Func, alg Algorithm, seed uint64, maxPair int64, boundary bool, pe int) Matching {
 	g := sg.Local
 	n := g.NumNodes()
 	owned := sg.NumOwned

@@ -1,0 +1,300 @@
+// Package remote runs the distributed coarsening phase across OS processes —
+// the paper's actual process model (one MPI rank per PE) realized over the
+// dist.Transport seam with sockets and the internal/wire codecs.
+//
+// Roles:
+//
+//   - The coordinator (Serve) owns the global graph and the pipeline: it
+//     accepts one control and one transport connection per worker, assigns
+//     PEs, and replaces the in-process contraction kernel with one that
+//     ships each PE its subgraph shard (wire-encoded) per level, waits for
+//     the per-PE contraction results, and stitches them into the next
+//     coarser graph. Initial partitioning and refinement run on the
+//     coordinator, exactly as §4/§5 of the paper run them on one rank.
+//
+//   - A worker (Work) hosts a single PE: it receives its shard, runs the
+//     exported per-PE kernels (matching.MatchSubgraph,
+//     coarsen.ContractSubgraph) against a dist.SocketTransport whose hub
+//     lives in the coordinator, and ships its contraction back.
+//
+// Because the workers execute the identical kernel code the in-process
+// goroutine PEs execute, a fixed seed yields byte-identical partitions to
+// the Exchanger-backed run — the property TestServeMatchesInProcess and the
+// cmd/kappa two-process test pin.
+package remote
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/coarsen"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// ctrlConn is the coordinator's control channel to one worker.
+type ctrlConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// coordinator implements core.Coarsener by outsourcing every contraction
+// level to the connected workers.
+type coordinator struct {
+	pes  int
+	ctrl []*ctrlConn
+}
+
+// Serve runs the full pipeline for g with the contraction phase distributed
+// over cfg.NumPEs() worker processes connecting to ln. It blocks until the
+// workers have connected (one control plus one transport connection each),
+// runs the pipeline, broadcasts the final partition to the workers, and
+// returns the result. cfg.Coarsen is forced to CoarsenDistributed — that is
+// the only mode with a per-PE kernel to distribute.
+//
+// Cancelling ctx closes every connection and the listener, so blocked
+// accepts and superstep reads abort promptly.
+func Serve(ctx context.Context, ln net.Listener, g *graph.Graph, cfg core.Config, opts ...core.Option) (core.Result, error) {
+	pes := cfg.NumPEs()
+	cfg.Coarsen = core.CoarsenDistributed
+
+	hub := dist.NewSocketHub(pes)
+	co := &coordinator{pes: pes, ctrl: make([]*ctrlConn, pes)}
+	var transportConns []net.Conn
+	var connMu sync.Mutex
+	// Close every accepted connection on the way out — including transport
+	// connections accepted before a handshake failure, which no hub ever
+	// adopts (hub.Route closes its connections itself; double Close on a
+	// net.Conn is harmless).
+	defer func() {
+		connMu.Lock()
+		defer connMu.Unlock()
+		for _, c := range co.ctrl {
+			if c != nil {
+				c.conn.Close()
+			}
+		}
+		for _, c := range transportConns {
+			c.Close()
+		}
+	}()
+
+	// Abort path: tear down everything the moment the context dies, so no
+	// read below can block past cancellation.
+	stop := context.AfterFunc(ctx, func() {
+		ln.Close()
+		connMu.Lock()
+		defer connMu.Unlock()
+		for _, c := range co.ctrl {
+			if c != nil {
+				c.conn.Close()
+			}
+		}
+		for _, c := range transportConns {
+			c.Close()
+		}
+	})
+	defer stop()
+
+	// Handshake: collect pes control and pes transport connections, in any
+	// interleaving. Control hellos request a PE (-1) and are assigned in
+	// arrival order; each worker then dials its transport connection with
+	// the assigned PE.
+	nextPE := 0
+	haveTransport := 0
+	for nextPE < pes || haveTransport < pes {
+		conn, err := ln.Accept()
+		if err != nil {
+			return core.Result{}, fmt.Errorf("remote: waiting for workers (%d/%d control, %d/%d transport): %w",
+				nextPE, pes, haveTransport, pes, err)
+		}
+		br := bufio.NewReaderSize(conn, 1<<16)
+		hello, err := dist.ReadHello(br)
+		if err != nil {
+			// Port probes and health checks connect and hang up without a
+			// hello; drop them and keep waiting for real workers.
+			conn.Close()
+			continue
+		}
+		switch hello.Role {
+		case dist.RoleControl:
+			if nextPE >= pes {
+				conn.Close()
+				return core.Result{}, fmt.Errorf("remote: more than %d workers connected", pes)
+			}
+			c := &ctrlConn{conn: conn, br: br}
+			assign := wire.Assign{
+				Version:  wire.Version,
+				PE:       nextPE,
+				PEs:      pes,
+				Rating:   int(cfg.Rating),
+				Matcher:  int(cfg.Matcher),
+				Boundary: cfg.GapMatching,
+			}
+			if err := wire.WriteFrame(conn, wire.KindAssign, wire.AppendAssign(nil, assign)); err != nil {
+				conn.Close()
+				return core.Result{}, fmt.Errorf("remote: assigning PE %d: %w", nextPE, err)
+			}
+			connMu.Lock()
+			co.ctrl[nextPE] = c
+			connMu.Unlock()
+			nextPE++
+		case dist.RoleTransport:
+			if err := hub.AddConnBuffered(hello.PE, conn, br); err != nil {
+				conn.Close()
+				return core.Result{}, fmt.Errorf("remote: %w", err)
+			}
+			connMu.Lock()
+			transportConns = append(transportConns, conn)
+			connMu.Unlock()
+			haveTransport++
+		}
+	}
+
+	hubErr := make(chan error, 1)
+	go func() { hubErr <- hub.Route() }()
+
+	res, runErr := core.Run(ctx, g, cfg, append(opts, core.WithCoarsener(co))...)
+
+	// Session end: broadcast the final partition (empty on failure); the
+	// workers close their connections, which lets the hub drain and return.
+	var done []byte
+	if runErr == nil {
+		done = wire.AppendPartition(nil, res.Blocks)
+	}
+	for pe, c := range co.ctrl {
+		if err := wire.WriteFrame(c.conn, wire.KindDone, done); err != nil && runErr == nil {
+			runErr = fmt.Errorf("remote: finishing worker %d: %w", pe, err)
+		}
+	}
+	if err := <-hubErr; err != nil && runErr == nil {
+		runErr = fmt.Errorf("remote: %w", err)
+	}
+	if runErr != nil {
+		return core.Result{}, runErr
+	}
+	return res, nil
+}
+
+// Coarsen implements core.Coarsener: the standard stop-rule loop around the
+// remote level kernel.
+func (co *coordinator) Coarsen(ctx context.Context, g *graph.Graph, cfg *core.Config, env *core.Env) (*coarsen.Hierarchy, error) {
+	return core.CoarsenWith(ctx, g, cfg, env, co.level)
+}
+
+// level is the remote LevelKernel: extract every PE's shard, ship the jobs,
+// collect the per-PE contractions, stitch. The workers decide "empty
+// matching" collectively over the transport (an OR vote), so either every
+// result carries a contraction or none does.
+func (co *coordinator) level(ctx context.Context, cur *graph.Graph, cfg *core.Config, blocks []int32, level int, maxPair int64) (*graph.Graph, []int32, time.Duration, time.Duration, error) {
+	if blocks == nil {
+		blocks = make([]int32, cur.NumNodes())
+	}
+	sgs := dist.ExtractAll(cur, blocks, co.pes)
+
+	jobs := make(chan error, co.pes)
+	for pe := 0; pe < co.pes; pe++ {
+		go func(pe int) {
+			job := wire.Job{
+				Level:   level,
+				Seed:    cfg.Seed + uint64(level)*101,
+				MaxPair: maxPair,
+				Shard:   sgs[pe],
+			}
+			payload, err := wire.AppendJob(nil, job)
+			if err == nil {
+				err = wire.WriteFrame(co.ctrl[pe].conn, wire.KindJob, payload)
+			}
+			if err != nil {
+				err = fmt.Errorf("remote: job for PE %d at level %d: %w", pe, level, err)
+			}
+			jobs <- err
+		}(pe)
+	}
+	// Drain every sender before returning: an early return would leave a
+	// sibling goroutine mid-WriteFrame on a control connection that Serve's
+	// Done broadcast then writes to concurrently, interleaving frames.
+	var jobErr error
+	for pe := 0; pe < co.pes; pe++ {
+		if err := <-jobs; err != nil && jobErr == nil {
+			jobErr = err
+		}
+	}
+	if jobErr != nil {
+		return nil, nil, 0, 0, jobErr
+	}
+
+	parts := make([]*coarsen.PEContraction, co.pes)
+	var matchNanos, contractNanos int64
+	matched := false
+	results := make(chan error, co.pes)
+	var mu sync.Mutex
+	for pe := 0; pe < co.pes; pe++ {
+		go func(pe int) {
+			kind, payload, err := wire.ReadFrame(co.ctrl[pe].br)
+			if err != nil {
+				results <- fmt.Errorf("remote: result of PE %d at level %d: %w", pe, level, err)
+				return
+			}
+			if kind != wire.KindResult {
+				results <- fmt.Errorf("remote: PE %d sent frame kind %d, want result", pe, kind)
+				return
+			}
+			r, err := wire.DecodeResult(payload)
+			if err != nil {
+				results <- err
+				return
+			}
+			if r.PE != pe {
+				results <- fmt.Errorf("remote: result for PE %d arrived on PE %d's connection", r.PE, pe)
+				return
+			}
+			mu.Lock()
+			parts[pe] = r.Part
+			if r.Matched > 0 {
+				matched = true
+			}
+			if r.MatchNanos > matchNanos {
+				matchNanos = r.MatchNanos
+			}
+			if r.ContractNanos > contractNanos {
+				contractNanos = r.ContractNanos
+			}
+			mu.Unlock()
+			results <- nil
+		}(pe)
+	}
+	// Same draining discipline as the job senders. On the first failure the
+	// other readers may be blocked on healthy connections whose workers are
+	// stuck in a superstep the dead peer will never complete — closing the
+	// control connections unblocks the readers so the drain terminates.
+	var resErr error
+	for pe := 0; pe < co.pes; pe++ {
+		if err := <-results; err != nil && resErr == nil {
+			resErr = err
+			for _, c := range co.ctrl {
+				c.conn.Close()
+			}
+		}
+	}
+	if resErr != nil {
+		return nil, nil, 0, 0, resErr
+	}
+	matchT := time.Duration(matchNanos)
+	if !matched {
+		return nil, nil, matchT, 0, nil
+	}
+	for pe, p := range parts {
+		if p == nil {
+			return nil, nil, 0, 0, fmt.Errorf("remote: PE %d matched but sent no contraction", pe)
+		}
+	}
+	cg, f2c := coarsen.Stitch(cur, parts)
+	return cg, f2c, matchT, time.Duration(contractNanos), nil
+}

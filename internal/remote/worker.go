@@ -1,0 +1,158 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/coarsen"
+	"repro/internal/dist"
+	"repro/internal/matching"
+	"repro/internal/rating"
+	"repro/internal/wire"
+)
+
+// WorkResult is what a finished worker session reports: the PE this process
+// hosted, how many contraction levels it worked, and the final partition the
+// coordinator broadcast (nil when the run failed coordinator-side).
+type WorkResult struct {
+	PE        int
+	Levels    int
+	Partition []int32
+}
+
+// Work runs one worker process: dial the coordinator at addr, receive a PE
+// assignment, then serve contraction-level jobs — per level: decode the
+// shard, run the per-PE matching kernel, vote on whether anyone matched,
+// contract, ship the result — until the coordinator sends Done. The worker
+// executes exactly the in-process per-PE kernels, so its results are
+// byte-identical to a goroutine PE's.
+//
+// Cancelling ctx closes the connections, aborting blocked reads promptly.
+func Work(ctx context.Context, network, addr string) (WorkResult, error) {
+	ctrl, err := net.Dial(network, addr)
+	if err != nil {
+		return WorkResult{}, fmt.Errorf("remote: dialing coordinator: %w", err)
+	}
+	defer ctrl.Close()
+
+	// The transport only exists once the assignment is in; the abort hook
+	// reads it under the mutex so a cancellation racing the handshake
+	// cannot miss (or doubly close) it.
+	var transportMu sync.Mutex
+	var transport *dist.SocketTransport
+	stop := context.AfterFunc(ctx, func() {
+		ctrl.Close()
+		transportMu.Lock()
+		t := transport
+		transportMu.Unlock()
+		if t != nil {
+			t.Close()
+		}
+	})
+	defer stop()
+
+	if err := dist.WriteHello(ctrl, dist.Hello{Role: dist.RoleControl, PE: -1}); err != nil {
+		return WorkResult{}, fmt.Errorf("remote: hello: %w", err)
+	}
+	br := bufio.NewReaderSize(ctrl, 1<<16)
+	kind, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return WorkResult{}, fmt.Errorf("remote: waiting for assignment: %w", err)
+	}
+	if kind != wire.KindAssign {
+		return WorkResult{}, fmt.Errorf("remote: first frame has kind %d, want assignment", kind)
+	}
+	assign, err := wire.DecodeAssign(payload)
+	if err != nil {
+		return WorkResult{}, err
+	}
+	if assign.Version != wire.Version {
+		return WorkResult{}, fmt.Errorf("remote: coordinator speaks wire version %d, this worker %d", assign.Version, wire.Version)
+	}
+	if assign.PE < 0 || assign.PE >= assign.PEs {
+		return WorkResult{}, fmt.Errorf("remote: assigned PE %d of %d", assign.PE, assign.PEs)
+	}
+	rf := rating.Func(assign.Rating)
+	alg := matching.Algorithm(assign.Matcher)
+
+	transportMu.Lock()
+	transport = dist.NewSocketTransport(assign.PEs, wire.MsgCodec{})
+	transportMu.Unlock()
+	defer transport.Close()
+	if ctx.Err() != nil { // cancelled during the handshake: the hook may have run already
+		return WorkResult{}, ctx.Err()
+	}
+	if err := transport.Dial(network, addr, assign.PE); err != nil {
+		return WorkResult{}, fmt.Errorf("remote: dialing transport: %w", err)
+	}
+
+	res := WorkResult{PE: assign.PE}
+	for {
+		kind, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return res, fmt.Errorf("remote: waiting for job: %w", err)
+		}
+		switch kind {
+		case wire.KindJob:
+			job, err := wire.DecodeJob(payload)
+			if err != nil {
+				return res, err
+			}
+			result, err := runLevel(transport, assign, rf, alg, job)
+			if err != nil {
+				return res, err
+			}
+			if err := wire.WriteFrame(ctrl, wire.KindResult, wire.AppendResult(nil, result)); err != nil {
+				return res, fmt.Errorf("remote: sending level %d result: %w", job.Level, err)
+			}
+			res.Levels++
+		case wire.KindDone:
+			if len(payload) > 0 {
+				blocks, _, err := wire.DecodePartition(payload)
+				if err != nil {
+					return res, err
+				}
+				res.Partition = blocks
+			}
+			return res, nil
+		default:
+			return res, fmt.Errorf("remote: unexpected frame kind %d", kind)
+		}
+	}
+}
+
+// runLevel executes one contraction-level job against the transport. The
+// socket transport reports I/O failure by panicking with *dist.SocketError
+// (the Transport interface has no error returns); this is the superstep-
+// sequence boundary where that panic converts back into an error.
+func runLevel(t *dist.SocketTransport, assign wire.Assign, rf rating.Func, alg matching.Algorithm, job wire.Job) (result wire.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var serr *dist.SocketError
+			if e, ok := r.(error); ok && errors.As(e, &serr) {
+				err = fmt.Errorf("remote: level %d: %w", job.Level, e)
+				return
+			}
+			panic(r)
+		}
+	}()
+	start := time.Now()
+	m := matching.MatchSubgraph(job.Shard, t, rf, alg, job.Seed, job.MaxPair, assign.Boundary, assign.PE)
+	matchNanos := time.Since(start).Nanoseconds()
+	result = wire.Result{PE: assign.PE, Matched: m.Size(), MatchNanos: matchNanos}
+	// Collective empty-matching vote: every PE reaches the same verdict, so
+	// either all contract (keeping the superstep sequences aligned) or none
+	// does — mirroring the coordinator-side check of the in-process path.
+	if !t.AllReduceOr(assign.PE, m.Size() > 0) {
+		return result, nil
+	}
+	start = time.Now()
+	result.Part = coarsen.ContractSubgraph(job.Shard, m, t, assign.PE)
+	result.ContractNanos = time.Since(start).Nanoseconds()
+	return result, nil
+}

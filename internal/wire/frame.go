@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteFrame writes one control frame: a kind byte, a uvarint payload
+// length, and the payload. Control connections (coordinator ↔ worker) are a
+// sequence of such frames after the dist socket hello.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	var head [1 + binary.MaxVarintLen64]byte
+	head[0] = kind
+	n := 1 + binary.PutUvarint(head[1:], uint64(len(payload)))
+	if _, err := w.Write(head[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one control frame. The payload buffer is freshly allocated
+// per call (control frames are rare — one per level, not per superstep).
+func ReadFrame(r *bufio.Reader) (kind byte, payload []byte, err error) {
+	kind, err = r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wire: frame length: %w", unexpectEOF(err))
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: frame payload: %w", unexpectEOF(err))
+	}
+	return kind, payload, nil
+}
+
+// unexpectEOF upgrades a bare io.EOF inside a frame to io.ErrUnexpectedEOF.
+func unexpectEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,279 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/coarsen"
+	"repro/internal/dist"
+	"repro/internal/graphio"
+)
+
+// AppendSubgraph encodes one PE's subgraph shard: the local graph (as a
+// graphio binary artifact — the same format graph files use on disk), the
+// owned-node count, and the id maps. This is what the coordinator ships each
+// worker per contraction level.
+func AppendSubgraph(dst []byte, sg *dist.Subgraph) ([]byte, error) {
+	dst = appendZigzag(dst, int64(sg.PE))
+	dst = appendUvarint(dst, uint64(sg.NumOwned))
+	dst = appendInt32s(dst, sg.LocalToGlobal)
+	dst = appendInt32s(dst, sg.GhostOwner)
+	var buf bytes.Buffer
+	if err := graphio.WriteBinary(&buf, sg.Local); err != nil {
+		return nil, fmt.Errorf("wire: encoding shard graph: %w", err)
+	}
+	dst = appendUvarint(dst, uint64(buf.Len()))
+	return append(dst, buf.Bytes()...), nil
+}
+
+// DecodeSubgraph decodes a shard encoded by AppendSubgraph and rebuilds the
+// global→local index; rest is the data following the shard.
+func DecodeSubgraph(data []byte) (sg *dist.Subgraph, rest []byte, err error) {
+	pe, data, err := readZigzag(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: shard PE: %w", err)
+	}
+	owned64, data, err := readUvarint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: shard owned count: %w", err)
+	}
+	l2g, data, err := readInt32s(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: shard id map: %w", err)
+	}
+	ghostOwner, data, err := readInt32s(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: shard ghost owners: %w", err)
+	}
+	glen, data, err := readUvarint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: shard graph length: %w", err)
+	}
+	if glen > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("wire: shard graph of %d bytes, %d left", glen, len(data))
+	}
+	local, err := graphio.ReadBinary(bytes.NewReader(data[:glen]))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: shard graph: %w", err)
+	}
+	if owned64 > uint64(local.NumNodes()) {
+		return nil, nil, fmt.Errorf("wire: shard owns %d of %d nodes", owned64, local.NumNodes())
+	}
+	sg, err = dist.NewSubgraph(int32(pe), local, int(owned64), l2g, ghostOwner)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sg, data[glen:], nil
+}
+
+// AppendContraction encodes a worker's PE-local contraction result.
+func AppendContraction(dst []byte, p *coarsen.PEContraction) []byte {
+	dst = appendZigzag(dst, int64(p.FirstCoarse))
+	dst = appendInt64s(dst, p.Weights)
+	dst = appendFloats(dst, p.CX)
+	dst = appendFloats(dst, p.CY)
+	dst = appendFloats(dst, p.CZ)
+	dst = appendInt32s(dst, p.EdgeU)
+	dst = appendInt32s(dst, p.EdgeV)
+	dst = appendInt64s(dst, p.EdgeW)
+	dst = appendInt32s(dst, p.FineGlobal)
+	dst = appendInt32s(dst, p.FineCoarse)
+	return dst
+}
+
+// DecodeContraction decodes a PEContraction; rest is the trailing data.
+func DecodeContraction(data []byte) (p *coarsen.PEContraction, rest []byte, err error) {
+	p = &coarsen.PEContraction{}
+	var first int64
+	wrap := func(what string, err error) error {
+		return fmt.Errorf("wire: contraction %s: %w", what, err)
+	}
+	if first, data, err = readZigzag(data); err != nil {
+		return nil, nil, wrap("first coarse id", err)
+	}
+	p.FirstCoarse = int32(first)
+	if p.Weights, data, err = readInt64s(data); err != nil {
+		return nil, nil, wrap("weights", err)
+	}
+	if p.CX, data, err = readFloats(data); err != nil {
+		return nil, nil, wrap("x coords", err)
+	}
+	if p.CY, data, err = readFloats(data); err != nil {
+		return nil, nil, wrap("y coords", err)
+	}
+	if p.CZ, data, err = readFloats(data); err != nil {
+		return nil, nil, wrap("z coords", err)
+	}
+	if p.EdgeU, data, err = readInt32s(data); err != nil {
+		return nil, nil, wrap("edge sources", err)
+	}
+	if p.EdgeV, data, err = readInt32s(data); err != nil {
+		return nil, nil, wrap("edge targets", err)
+	}
+	if p.EdgeW, data, err = readInt64s(data); err != nil {
+		return nil, nil, wrap("edge weights", err)
+	}
+	if p.FineGlobal, data, err = readInt32s(data); err != nil {
+		return nil, nil, wrap("fine ids", err)
+	}
+	if p.FineCoarse, data, err = readInt32s(data); err != nil {
+		return nil, nil, wrap("fine→coarse map", err)
+	}
+	return p, data, nil
+}
+
+// AppendPartition encodes a partition vector (block of every node). Blocks
+// are non-negative and small, so plain uvarints are compact.
+func AppendPartition(dst []byte, blocks []int32) []byte {
+	dst = appendUvarint(dst, uint64(len(blocks)))
+	for _, b := range blocks {
+		dst = appendZigzag(dst, int64(b))
+	}
+	return dst
+}
+
+// DecodePartition decodes a partition vector; rest is the trailing data.
+func DecodePartition(data []byte) (blocks []int32, rest []byte, err error) {
+	return readInt32s(data)
+}
+
+// Assign is the coordinator's reply to a worker's control hello: the
+// worker's PE, the size of the system, the configuration of the distributed
+// matching kernel, and the protocol version (refuse on mismatch).
+type Assign struct {
+	Version  int
+	PE       int
+	PEs      int
+	Rating   int // rating.Func
+	Matcher  int // matching.Algorithm
+	Boundary bool
+}
+
+// AppendAssign encodes an Assign payload.
+func AppendAssign(dst []byte, a Assign) []byte {
+	dst = appendUvarint(dst, uint64(a.Version))
+	dst = appendUvarint(dst, uint64(a.PE))
+	dst = appendUvarint(dst, uint64(a.PEs))
+	dst = appendUvarint(dst, uint64(a.Rating))
+	dst = appendUvarint(dst, uint64(a.Matcher))
+	b := uint64(0)
+	if a.Boundary {
+		b = 1
+	}
+	return appendUvarint(dst, b)
+}
+
+// DecodeAssign decodes an Assign payload.
+func DecodeAssign(data []byte) (Assign, error) {
+	var a Assign
+	fields := []*int{&a.Version, &a.PE, &a.PEs, &a.Rating, &a.Matcher}
+	for i, f := range fields {
+		v, rest, err := readUvarint(data)
+		if err != nil {
+			return Assign{}, fmt.Errorf("wire: assign field %d: %w", i, err)
+		}
+		if v > 1<<31 {
+			return Assign{}, fmt.Errorf("wire: assign field %d out of range", i)
+		}
+		*f = int(v)
+		data = rest
+	}
+	v, _, err := readUvarint(data)
+	if err != nil {
+		return Assign{}, fmt.Errorf("wire: assign boundary flag: %w", err)
+	}
+	a.Boundary = v != 0
+	return a, nil
+}
+
+// Job is one contraction-level work order: the level's derived seed, the
+// pair-weight bound, and the worker's shard.
+type Job struct {
+	Level   int
+	Seed    uint64
+	MaxPair int64
+	Shard   *dist.Subgraph
+}
+
+// AppendJob encodes a Job payload.
+func AppendJob(dst []byte, j Job) ([]byte, error) {
+	dst = appendUvarint(dst, uint64(j.Level))
+	dst = appendUvarint(dst, j.Seed)
+	dst = appendZigzag(dst, j.MaxPair)
+	return AppendSubgraph(dst, j.Shard)
+}
+
+// DecodeJob decodes a Job payload.
+func DecodeJob(data []byte) (Job, error) {
+	var j Job
+	level, data, err := readUvarint(data)
+	if err != nil {
+		return Job{}, fmt.Errorf("wire: job level: %w", err)
+	}
+	j.Level = int(level)
+	if j.Seed, data, err = readUvarint(data); err != nil {
+		return Job{}, fmt.Errorf("wire: job seed: %w", err)
+	}
+	if j.MaxPair, data, err = readZigzag(data); err != nil {
+		return Job{}, fmt.Errorf("wire: job pair bound: %w", err)
+	}
+	if j.Shard, _, err = DecodeSubgraph(data); err != nil {
+		return Job{}, err
+	}
+	return j, nil
+}
+
+// Result is a worker's answer to a Job: how many of its owned nodes matched,
+// the kernel wall-clock times, and — when any PE matched — its contraction
+// contribution.
+type Result struct {
+	PE            int
+	Matched       int
+	MatchNanos    int64
+	ContractNanos int64
+	Part          *coarsen.PEContraction // nil when the level's matching was empty
+}
+
+// AppendResult encodes a Result payload.
+func AppendResult(dst []byte, r Result) []byte {
+	dst = appendUvarint(dst, uint64(r.PE))
+	dst = appendUvarint(dst, uint64(r.Matched))
+	dst = appendZigzag(dst, r.MatchNanos)
+	dst = appendZigzag(dst, r.ContractNanos)
+	if r.Part == nil {
+		return appendUvarint(dst, 0)
+	}
+	dst = appendUvarint(dst, 1)
+	return AppendContraction(dst, r.Part)
+}
+
+// DecodeResult decodes a Result payload.
+func DecodeResult(data []byte) (Result, error) {
+	var r Result
+	pe, data, err := readUvarint(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("wire: result PE: %w", err)
+	}
+	r.PE = int(pe)
+	matched, data, err := readUvarint(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("wire: result matched count: %w", err)
+	}
+	r.Matched = int(matched)
+	if r.MatchNanos, data, err = readZigzag(data); err != nil {
+		return Result{}, fmt.Errorf("wire: result match time: %w", err)
+	}
+	if r.ContractNanos, data, err = readZigzag(data); err != nil {
+		return Result{}, fmt.Errorf("wire: result contract time: %w", err)
+	}
+	has, data, err := readUvarint(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("wire: result part flag: %w", err)
+	}
+	if has != 0 {
+		if r.Part, _, err = DecodeContraction(data); err != nil {
+			return Result{}, err
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,185 @@
+// Package wire is the versioned binary codec layer of the out-of-process
+// backend: it encodes everything that crosses a process boundary — dist.Msg
+// batches (the superstep traffic of distributed coarsening), subgraph shards
+// (what the coordinator ships each worker), per-PE contraction results (what
+// comes back), and partition vectors — into compact, deterministic,
+// allocation-conscious byte strings.
+//
+// Layering: graph serialization is delegated to internal/graphio (the binary
+// graph format is a first-class artifact, not a protocol detail), and the
+// Msg batch encoding is exposed through MsgCodec, which implements
+// dist.BatchCodec so the socket transport and hub stay codec-agnostic.
+//
+// Compatibility: every control connection starts with a version handshake
+// (Assign.Version = Version); peers with mismatched versions refuse to talk
+// rather than misparse. Encodings are pure functions of their values, so
+// equal inputs produce equal bytes on every platform (varints + IEEE-754
+// bits, no host endianness, no maps iterated).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Version is the wire-protocol version, negotiated in the control
+// handshake. Bump it whenever any frame or payload encoding changes.
+const Version = 1
+
+// Control-frame kinds (see WriteFrame/ReadFrame).
+const (
+	// KindAssign is the coordinator's reply to a control hello: the
+	// worker's PE assignment and the run configuration (AppendAssign).
+	KindAssign byte = 1
+	// KindJob carries one contraction-level job: level parameters plus the
+	// worker's subgraph shard (AppendJob).
+	KindJob byte = 2
+	// KindResult carries a worker's level result: matching size and its
+	// PE-local contraction (AppendResult).
+	KindResult byte = 3
+	// KindDone ends a session; its payload is the final partition vector
+	// (possibly empty when the run failed).
+	KindDone byte = 4
+)
+
+// maxFrame bounds a control frame's payload; a peer announcing more is
+// corrupt or hostile, not busy.
+const maxFrame = 1 << 31
+
+// appendUvarint/readUvarint are the package's primitive: everything integer
+// goes over the wire as a uvarint (zigzag for signed values).
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+func readUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: truncated varint")
+	}
+	return v, data[n:], nil
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+func readZigzag(data []byte) (int64, []byte, error) {
+	u, rest, err := readUvarint(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int64(u>>1) ^ -int64(u&1), rest, nil
+}
+
+// appendInt32s encodes a length-prefixed []int32 (zigzag per element).
+func appendInt32s(dst []byte, xs []int32) []byte {
+	dst = appendUvarint(dst, uint64(len(xs)))
+	for _, x := range xs {
+		dst = appendZigzag(dst, int64(x))
+	}
+	return dst
+}
+
+func readInt32s(data []byte) ([]int32, []byte, error) {
+	n, data, err := readUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	// A varint takes at least one byte: cheap bound against allocation bombs.
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("wire: %d elements declared, %d bytes left", n, len(data))
+	}
+	xs := make([]int32, n)
+	for i := range xs {
+		var v int64
+		v, data, err = readZigzag(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("wire: value %d overflows int32", v)
+		}
+		xs[i] = int32(v)
+	}
+	return xs, data, nil
+}
+
+// appendInt64s encodes a length-prefixed []int64 (zigzag per element).
+func appendInt64s(dst []byte, xs []int64) []byte {
+	dst = appendUvarint(dst, uint64(len(xs)))
+	for _, x := range xs {
+		dst = appendZigzag(dst, x)
+	}
+	return dst
+}
+
+func readInt64s(data []byte) ([]int64, []byte, error) {
+	n, data, err := readUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("wire: %d elements declared, %d bytes left", n, len(data))
+	}
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i], data, err = readZigzag(data)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return xs, data, nil
+}
+
+// appendFloat encodes one float64 as 8 little-endian IEEE-754 bytes.
+func appendFloat(dst []byte, x float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+}
+
+func readFloat(data []byte) (float64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("wire: truncated float")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(data[:8])), data[8:], nil
+}
+
+// appendFloats encodes a length-prefixed []float64 as IEEE-754 bits; a nil
+// slice stays nil through a round trip (length 0 vs marker).
+func appendFloats(dst []byte, xs []float64) []byte {
+	if xs == nil {
+		return appendUvarint(dst, 0)
+	}
+	dst = appendUvarint(dst, uint64(len(xs))+1)
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+func readFloats(data []byte) ([]float64, []byte, error) {
+	n1, data, err := readUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n1 == 0 {
+		return nil, data, nil
+	}
+	n := n1 - 1
+	// Divide instead of multiplying: n*8 could wrap uint64 and sneak a huge
+	// length past the check into make().
+	if n > uint64(len(data))/8 {
+		return nil, nil, fmt.Errorf("wire: %d floats declared, %d bytes left", n, len(data))
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+	}
+	return xs, data, nil
+}

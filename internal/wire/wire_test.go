@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/coarsen"
+	"repro/internal/dist"
+	"repro/internal/gen"
+)
+
+func TestMsgBatchRoundTrip(t *testing.T) {
+	msgs := []dist.Msg{
+		{Kind: dist.MsgGhostState, A: 17, R: 2.5},
+		{Kind: dist.MsgGhostState, A: -1, W: 1},
+		{Kind: dist.MsgProposal, A: 1 << 30, B: -(1 << 30), R: math.Pi},
+		{Kind: dist.MsgCoarseID, A: 5, B: 9},
+		{Kind: dist.MsgCount, W: -12345678901234},
+		{Kind: dist.MsgFlag, W: 1},
+		{Kind: dist.MsgFlag},
+	}
+	var c MsgCodec
+	enc := c.AppendBatch(nil, msgs)
+	got, err := c.DecodeBatch(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(msgs, got) {
+		t.Fatalf("round trip changed batch:\n%v\n%v", msgs, got)
+	}
+
+	// The batch contract: concatenated encodings decode as one batch.
+	enc2 := c.AppendBatch(append([]byte(nil), enc...), msgs)
+	got2, err := c.DecodeBatch(enc2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 2*len(msgs) {
+		t.Fatalf("concatenated batches decoded to %d messages, want %d", len(got2), 2*len(msgs))
+	}
+
+	// Truncations error, never panic.
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := c.DecodeBatch(enc[:cut], nil); err == nil {
+			// A cut can land exactly on a message boundary; that decodes
+			// cleanly to a shorter batch, which is fine.
+			if dec, _ := c.DecodeBatch(enc[:cut], nil); len(dec) >= len(msgs) {
+				t.Fatalf("truncation at %d decoded all messages", cut)
+			}
+		}
+	}
+}
+
+func TestSubgraphRoundTrip(t *testing.T) {
+	g := gen.Grid3D(6, 5, 4)
+	assign := dist.Assign(g, dist.StrategyRCB, 3)
+	for _, sg := range dist.ExtractAll(g, assign, 3) {
+		enc, err := AppendSubgraph(nil, sg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rest, err := DecodeSubgraph(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes", len(rest))
+		}
+		if got.PE != sg.PE || got.NumOwned != sg.NumOwned {
+			t.Fatalf("PE/owned changed: %d/%d -> %d/%d", sg.PE, sg.NumOwned, got.PE, got.NumOwned)
+		}
+		if !reflect.DeepEqual(got.LocalToGlobal, sg.LocalToGlobal) ||
+			!reflect.DeepEqual(got.GhostOwner, sg.GhostOwner) {
+			t.Fatal("id maps changed")
+		}
+		if got.Local.NumNodes() != sg.Local.NumNodes() || got.Local.NumEdges() != sg.Local.NumEdges() {
+			t.Fatal("local graph size changed")
+		}
+		for v := int32(0); v < int32(sg.Local.NumNodes()); v++ {
+			if !reflect.DeepEqual(got.Local.Adj(v), sg.Local.Adj(v)) ||
+				!reflect.DeepEqual(got.Local.AdjWeights(v), sg.Local.AdjWeights(v)) {
+				t.Fatalf("adjacency of %d changed", v)
+			}
+		}
+		// The rebuilt global→local index answers like the original.
+		for lv, gv := range sg.LocalToGlobal {
+			back, ok := got.ToLocal(gv)
+			if !ok || back != int32(lv) {
+				t.Fatalf("ToLocal(%d) = %d, %v", gv, back, ok)
+			}
+		}
+	}
+}
+
+func TestContractionRoundTrip(t *testing.T) {
+	p := &coarsen.PEContraction{
+		FirstCoarse: 42,
+		Weights:     []int64{3, 1, 9},
+		CX:          []float64{0.5, 1.5, 2.5},
+		CY:          []float64{-1, 0, 1},
+		EdgeU:       []int32{42, 43},
+		EdgeV:       []int32{7, 8},
+		EdgeW:       []int64{2, 11},
+		FineGlobal:  []int32{10, 11, 12, 13},
+		FineCoarse:  []int32{42, 42, 43, 44},
+	}
+	enc := AppendContraction(nil, p)
+	got, rest, err := DecodeContraction(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip changed contraction:\n%+v\n%+v", p, got)
+	}
+	// CZ must stay nil (2D), not become empty-but-non-nil.
+	if got.CZ != nil {
+		t.Fatal("nil CZ became non-nil")
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	blocks := []int32{0, 1, 2, 1, 0, 7, 3}
+	enc := AppendPartition(nil, blocks)
+	got, rest, err := DecodePartition(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !reflect.DeepEqual(blocks, got) {
+		t.Fatalf("round trip changed partition: %v -> %v", blocks, got)
+	}
+}
+
+func TestAssignJobResultRoundTrip(t *testing.T) {
+	a := Assign{Version: Version, PE: 1, PEs: 4, Rating: 3, Matcher: 1, Boundary: true}
+	gota, err := DecodeAssign(AppendAssign(nil, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gota != a {
+		t.Fatalf("assign changed: %+v -> %+v", a, gota)
+	}
+
+	g := gen.Grid2D(8, 8)
+	sg := dist.Extract(g, dist.Assign(g, dist.StrategyRanges, 2), 1)
+	j := Job{Level: 3, Seed: 0xdeadbeef, MaxPair: 17, Shard: sg}
+	enc, err := AppendJob(nil, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotj, err := DecodeJob(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotj.Level != 3 || gotj.Seed != 0xdeadbeef || gotj.MaxPair != 17 || gotj.Shard.NumOwned != sg.NumOwned {
+		t.Fatalf("job changed: %+v", gotj)
+	}
+
+	r := Result{PE: 2, Matched: 9, MatchNanos: 1e6, ContractNanos: 2e6,
+		Part: &coarsen.PEContraction{FirstCoarse: 1, Weights: []int64{2}, FineGlobal: []int32{0}, FineCoarse: []int32{1}}}
+	gotr, err := DecodeResult(AppendResult(nil, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotr.PE != 2 || gotr.Matched != 9 || gotr.MatchNanos != 1e6 || !reflect.DeepEqual(gotr.Part, r.Part) {
+		t.Fatalf("result changed: %+v", gotr)
+	}
+
+	empty := Result{PE: 0, Matched: 0}
+	gote, err := DecodeResult(AppendResult(nil, empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gote.Part != nil {
+		t.Fatal("nil part became non-nil")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindJob, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, KindDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	kind, payload, err := ReadFrame(br)
+	if err != nil || kind != KindJob || string(payload) != "payload" {
+		t.Fatalf("frame 1: kind %d payload %q err %v", kind, payload, err)
+	}
+	kind, payload, err = ReadFrame(br)
+	if err != nil || kind != KindDone || len(payload) != 0 {
+		t.Fatalf("frame 2: kind %d payload %q err %v", kind, payload, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// Corrupt inputs error instead of panicking or over-allocating.
+	if _, _, err := readInt32s([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}); err == nil {
+		t.Fatal("accepted huge element count")
+	}
+	if _, _, err := DecodeSubgraph([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted garbage shard")
+	}
+	if _, err := DecodeAssign(nil); err == nil {
+		t.Fatal("accepted empty assign")
+	}
+	if _, err := DecodeJob([]byte{5}); err == nil {
+		t.Fatal("accepted truncated job")
+	}
+	if _, err := DecodeResult([]byte{1}); err == nil {
+		t.Fatal("accepted truncated result")
+	}
+}

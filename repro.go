@@ -33,6 +33,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/graphio"
 	"repro/internal/mem"
 	"repro/internal/part"
 )
@@ -46,8 +47,42 @@ type Builder = graph.Builder
 // NewBuilder returns a builder for a graph with n nodes.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
+// GraphFormat names an on-disk graph encoding: METIS text (the partitioning
+// community's interchange format) or the compact deterministic binary CSR
+// encoding (which also carries coordinates). FormatAuto detects the format
+// when reading and picks by file extension when writing files.
+type GraphFormat = graphio.Format
+
+// Graph file formats.
+const (
+	FormatAuto   = graphio.FormatAuto
+	FormatMETIS  = graphio.FormatMETIS
+	FormatBinary = graphio.FormatBinary
+)
+
+// ParseGraphFormat parses a format name: auto | metis | bin.
+func ParseGraphFormat(name string) (GraphFormat, error) { return graphio.ParseFormat(name) }
+
+// ReadGraph parses a graph from r; FormatAuto sniffs the binary magic and
+// falls back to METIS, so callers can pass any supported file unseen.
+func ReadGraph(r io.Reader, f GraphFormat) (*Graph, error) { return graphio.Read(r, f) }
+
+// WriteGraph encodes g to w in the given format (FormatAuto writes METIS).
+func WriteGraph(w io.Writer, g *Graph, f GraphFormat) error { return graphio.Write(w, g, f) }
+
+// ReadGraphFile reads a graph file, detecting the format from its content.
+func ReadGraphFile(path string) (*Graph, error) { return graphio.ReadFile(path) }
+
+// WriteGraphFile writes a graph file; FormatAuto picks the format from the
+// extension (".bgraph"/".bin" = binary, anything else METIS).
+func WriteGraphFile(path string, g *Graph, f GraphFormat) error {
+	return graphio.WriteFile(path, g, f)
+}
+
 // ReadMetis parses a graph in METIS/Chaco format.
-func ReadMetis(r io.Reader) (*Graph, error) { return graph.ReadMetis(r) }
+//
+// Deprecated: use ReadGraph with FormatMETIS (or FormatAuto).
+func ReadMetis(r io.Reader) (*Graph, error) { return graphio.ReadMETIS(r) }
 
 // Config carries every tuning parameter of the partitioner (Table 2).
 type Config = core.Config

@@ -22,15 +22,26 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := g.WriteMetis(&buf); err != nil {
+	if err := WriteGraph(&buf, g, FormatMETIS); err != nil {
 		t.Fatal(err)
 	}
-	g2, err := ReadMetis(&buf)
+	g2, err := ReadGraph(&buf, FormatAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g2.NumNodes() != 6 {
 		t.Fatal("METIS round trip broken through facade")
+	}
+	buf.Reset()
+	if err := WriteGraph(&buf, g, FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := ReadGraph(&buf, FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumNodes() != 6 || g3.NumEdges() != g.NumEdges() {
+		t.Fatal("binary round trip broken through facade")
 	}
 
 	rgg := RGG(10, 3)

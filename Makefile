@@ -33,11 +33,12 @@ bench-smoke:
 	$(GO) test -bench='Table1|Table2' -benchtime=1x -benchmem -run=^$$ .
 
 # bench-json measures the smoke benchmarks (Table1/Table2 + end-to-end
-# Partition per family) with -benchmem semantics and writes the perf
-# trajectory artifact, pairing each number with the recorded pre-PR4
-# baseline. Commit the refreshed BENCH_PR4.json alongside perf changes.
+# Partition per family, plus the observed variant quantifying metric-stack
+# overhead) with -benchmem semantics and writes the perf trajectory
+# artifact, pairing each number with the recorded PR4 numbers. Commit the
+# refreshed BENCH_PR6.json alongside perf changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR4_baseline.json -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -out BENCH_PR6.json
 
 # examples builds and runs every examples/* program end to end (CI runs
 # this too, so the example code can never rot).
@@ -45,9 +46,10 @@ examples:
 	@set -e; for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d"; done
 
 # race runs the race detector over the concurrency-heavy packages plus the
-# pipeline contract tests (context cancellation, transport swap).
+# pipeline contract tests (context cancellation, transport swap) and the
+# observability stack (concurrent scrapes against a running pipeline).
 race:
-	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist ./internal/remote .
+	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist ./internal/remote ./internal/obs .
 
 # fuzz smokes the native Go fuzz targets of the file-format parsers (METIS
 # text, binary CSR) for a few seconds each; CI runs this so the parsers can

@@ -22,9 +22,11 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Record is one measured benchmark configuration.
@@ -100,6 +102,31 @@ func main() {
 			cfg.Seed = seed
 			seed++
 			if _, err := core.Run(nil, c.g, cfg, core.WithArena(arena)); err != nil {
+				panic(err)
+			}
+		}))
+	}
+
+	// The same end-to-end run with the full metric stack attached — the
+	// recorded evidence of the observability overhead (compare against
+	// Partition/rgg14 above).
+	{
+		g := gen.RGG(14, 1)
+		arena := mem.NewArena()
+		reg := obs.NewRegistry()
+		stats := dist.NewTransportStats(16)
+		obs.BindTransport(reg, stats)
+		obs.BindArena(reg, arena)
+		observer := obs.NewPipelineObserver(reg)
+		seed := uint64(0)
+		entries = append(entries, measure("Partition/rgg14/observed", func() {
+			cfg := core.NewConfig(core.Fast, 16)
+			cfg.Seed = seed
+			seed++
+			if _, err := core.Run(nil, g, cfg,
+				core.WithObserver(observer),
+				core.WithTransportStats(stats),
+				core.WithArena(arena)); err != nil {
 				panic(err)
 			}
 		}))

@@ -90,6 +90,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the run, post-GC) to this file")
 	)
+	var ob obsFlags
+	ob.register(flag.CommandLine)
 	flag.Parse()
 
 	if *cpuProf != "" || *memProf != "" {
@@ -163,10 +165,13 @@ func main() {
 	}
 	var opts []core.Option
 	if *progress {
-		opts = append(opts, core.WithObserver(core.ObserverFunc(func(ev core.TraceEvent) {
-			fmt.Fprintln(os.Stderr, "kappa:", ev)
-		})))
+		opts = append(opts, progressOption())
 	}
+	runObs, obsOpts, err := ob.setup(g, cfg)
+	if err != nil {
+		fail(err)
+	}
+	opts = append(opts, obsOpts...)
 
 	if *eval != "" {
 		blocks, err := readPartition(*eval, g.NumNodes())
@@ -194,18 +199,22 @@ func main() {
 		}
 		fail(err)
 	}
+	if err := runObs.finish(res); err != nil {
+		fail(err)
+	}
 	p := part.FromBlocks(g, *k, *eps, res.Blocks)
-	fmt.Printf("graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
-	fmt.Printf("preset    %s (k=%d, eps=%.2f, dist=%s, coarsen=%s)\n", variant, *k, *eps, strategy, mode)
-	fmt.Printf("cut       %d\n", res.Cut)
-	fmt.Printf("balance   %.4f (Lmax %d, feasible %v)\n", res.Balance, p.Lmax(), p.Feasible())
-	fmt.Printf("levels    %d\n", res.Levels)
-	fmt.Printf("time      total %v (coarsen %v, init %v, refine %v)\n",
+	sum := ob.summaryWriter()
+	fmt.Fprintf(sum, "graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+	fmt.Fprintf(sum, "preset    %s (k=%d, eps=%.2f, dist=%s, coarsen=%s)\n", variant, *k, *eps, strategy, mode)
+	fmt.Fprintf(sum, "cut       %d\n", res.Cut)
+	fmt.Fprintf(sum, "balance   %.4f (Lmax %d, feasible %v)\n", res.Balance, p.Lmax(), p.Feasible())
+	fmt.Fprintf(sum, "levels    %d\n", res.Levels)
+	fmt.Fprintf(sum, "time      total %v (coarsen %v, init %v, refine %v)\n",
 		res.TotalTime.Round(1e6), res.CoarsenTime.Round(1e6), res.InitTime.Round(1e6), res.RefineTime.Round(1e6))
 
 	if *outFile != "" {
 		writePartition(*outFile, res.Blocks)
-		fmt.Printf("partition written to %s\n", *outFile)
+		fmt.Fprintf(sum, "partition written to %s\n", *outFile)
 	}
 }
 

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// progressOption is the shared -progress observer: every trace event of the
+// run, one line per event, to stderr.
+func progressOption() core.Option {
+	return core.WithObserver(core.ObserverFunc(func(ev core.TraceEvent) {
+		fmt.Fprintln(os.Stderr, "kappa:", ev)
+	}))
+}
+
+// obsFlags are the observability flags shared by `kappa` and `kappa serve`.
+type obsFlags struct {
+	metrics     string
+	metricsHold time.Duration
+	report      string
+}
+
+// register installs the flags on fs (flag.CommandLine for the root command).
+func (f *obsFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&f.metrics, "metrics", "",
+		"serve Prometheus metrics, a JSON snapshot, and pprof on this address (e.g. :9090; /metrics, /metrics.json, /debug/pprof/)")
+	fs.DurationVar(&f.metricsHold, "metrics-hold", 0,
+		"keep the -metrics endpoint up this long after the run finishes (for scraping a one-shot run)")
+	fs.StringVar(&f.report, "report", "",
+		"write a JSON run report (config, levels, init cut, refinement gains, transport and arena totals) to this file ('-' for stdout)")
+}
+
+func (f *obsFlags) enabled() bool { return f.metrics != "" || f.report != "" }
+
+// summaryWriter is where the human-readable result summary goes: stderr when
+// the report streams to stdout (-report -), so the JSON document on stdout
+// stays parseable on its own.
+func (f *obsFlags) summaryWriter() io.Writer {
+	if f.report == "-" {
+		return os.Stderr
+	}
+	return os.Stdout
+}
+
+// runObs is the live observability state of one run: the registry behind the
+// HTTP endpoint, the transport/arena sinks, and the report recorder.
+type runObs struct {
+	flags    *obsFlags
+	registry *obs.Registry
+	stats    *dist.TransportStats
+	arena    *mem.Arena
+	reporter *obs.ReportObserver
+	server   interface{ Close() error }
+}
+
+// setup wires the requested observability into pipeline options: a shared
+// arena and metered transports (so both the metrics endpoint and the report
+// see them), the metrics observer, and the report recorder. It returns nil
+// when neither -metrics nor -report was given — the run stays entirely
+// uninstrumented.
+func (f *obsFlags) setup(g *graph.Graph, cfg core.Config) (*runObs, []core.Option, error) {
+	if !f.enabled() {
+		return nil, nil, nil
+	}
+	o := &runObs{
+		flags: f,
+		stats: dist.NewTransportStats(cfg.NumPEs()),
+		arena: mem.NewArena(),
+	}
+	opts := []core.Option{
+		core.WithArena(o.arena),
+		core.WithTransportStats(o.stats),
+	}
+	if f.metrics != "" {
+		o.registry = obs.NewRegistry()
+		obs.BindTransport(o.registry, o.stats)
+		obs.BindArena(o.registry, o.arena)
+		opts = append(opts, core.WithObserver(obs.NewPipelineObserver(o.registry)))
+		srv, addr, err := obs.Serve(f.metrics, o.registry)
+		if err != nil {
+			return nil, nil, err
+		}
+		o.server = srv
+		fmt.Fprintf(os.Stderr, "kappa: metrics on http://%s/metrics (JSON at /metrics.json, pprof at /debug/pprof/)\n", addr)
+	}
+	if f.report != "" {
+		o.reporter = obs.NewReportObserver(g, cfg)
+		opts = append(opts, core.WithObserver(o.reporter))
+	}
+	return o, opts, nil
+}
+
+// transportStats returns the stats sink to meter transports into, nil when
+// observability is off (nil receiver included).
+func (o *runObs) transportStats() *dist.TransportStats {
+	if o == nil {
+		return nil
+	}
+	return o.stats
+}
+
+// finish completes the run's observability: final-result gauges, the report
+// file, and the post-run hold of the metrics endpoint. A nil receiver is a
+// no-op, so callers invoke it unconditionally.
+func (o *runObs) finish(res core.Result) error {
+	if o == nil {
+		return nil
+	}
+	if o.registry != nil {
+		obs.RecordResult(o.registry, res)
+	}
+	if o.reporter != nil {
+		rep := o.reporter.Finish(res, o.stats, o.arena)
+		out := os.Stdout
+		if o.flags.report != "-" {
+			f, err := os.Create(o.flags.report)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if _, err := rep.WriteTo(out); err != nil {
+			return err
+		}
+		if o.flags.report != "-" {
+			fmt.Fprintf(os.Stderr, "kappa: report written to %s\n", o.flags.report)
+		}
+	}
+	if o.server != nil {
+		if o.flags.metricsHold > 0 {
+			fmt.Fprintf(os.Stderr, "kappa: holding metrics endpoint for %v\n", o.flags.metricsHold)
+			time.Sleep(o.flags.metricsHold)
+		}
+		o.server.Close()
+	}
+	return nil
+}

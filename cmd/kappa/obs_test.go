@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runKappaReport runs the real kappa binary with -report and returns the
+// report with its scheduling-dependent fields zeroed.
+func runKappaReport(t *testing.T, kappa string, extra ...string) []byte {
+	t.Helper()
+	reportFile := filepath.Join(t.TempDir(), "run.json")
+	args := append([]string{"-gen", "rgg:10", "-k", "4", "-seed", "7",
+		"-workers", "2", "-coarsen", "distributed", "-report", reportFile}, extra...)
+	if out, err := exec.Command(kappa, args...).CombinedOutput(); err != nil {
+		t.Fatalf("kappa -report: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(reportFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	rep.ZeroTimes()
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestKappaReportDeterministic is the CLI half of the report contract: two
+// fixed-seed invocations of the real binary produce byte-identical reports
+// once the scheduling-dependent fields are zeroed, and the report carries
+// every section.
+func TestKappaReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	kappa, _ := buildBinaries(t)
+	a := runKappaReport(t, kappa)
+	b := runKappaReport(t, kappa)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reports differ across identical runs:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Graph.Nodes != 1<<10 || rep.Config.K != 4 || rep.Config.Seed != 7 {
+		t.Fatalf("report header wrong: %+v %+v", rep.Graph, rep.Config)
+	}
+	if len(rep.Levels) == 0 || len(rep.Phases) != 4 || rep.Result.Cut <= 0 {
+		t.Fatalf("report body incomplete: %d levels, %d phases, cut %d",
+			len(rep.Levels), len(rep.Phases), rep.Result.Cut)
+	}
+	if len(rep.Transport) == 0 || rep.Arena == nil || rep.Arena.Borrows == 0 {
+		t.Fatalf("report lacks transport/arena sections: %s", a)
+	}
+}
+
+// TestKappaReportStdout pins the `-report -` contract: stdout is exactly one
+// parseable JSON document (the human summary moves to stderr).
+func TestKappaReportStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	kappa, _ := buildBinaries(t)
+	cmd := exec.Command(kappa, "-gen", "rgg:10", "-k", "4", "-seed", "7", "-report", "-")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("kappa -report -: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout.Bytes()))
+	var rep obs.Report
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if dec.More() {
+		t.Fatalf("stdout carries extra data after the report:\n%s", stdout.String())
+	}
+	if rep.Result.Cut <= 0 {
+		t.Fatalf("report result missing: %+v", rep.Result)
+	}
+	if !strings.Contains(stderr.String(), "cut") {
+		t.Fatalf("human summary not on stderr:\n%s", stderr.String())
+	}
+}
+
+// TestKappaMetricsEndpoint runs the binary with -metrics :0 and -metrics-hold,
+// scrapes /metrics and /metrics.json while the endpoint lingers, and checks
+// the scrape reflects the finished run.
+func TestKappaMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	kappa, _ := buildBinaries(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, kappa, "-gen", "rgg:10", "-k", "4", "-seed", "7",
+		"-metrics", "127.0.0.1:0", "-metrics-hold", "30s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The binary announces the bound address on stderr.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "kappa: metrics on http://"); ok {
+			addr = strings.TrimSuffix(strings.Fields(rest)[0], "/metrics")
+			addr = strings.TrimSuffix(addr, "/")
+		}
+		if strings.Contains(line, "holding metrics endpoint") {
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("kappa never announced its metrics address")
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained while we scrape
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE kappa_runs_total counter",
+		"kappa_runs_total 1",
+		"kappa_phase_seconds_bucket",
+		"kappa_arena_borrows_total",
+		"kappa_last_cut",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics is missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if len(snap.Metrics) == 0 {
+		t.Fatal("/metrics.json snapshot is empty")
+	}
+}

@@ -37,6 +37,8 @@ func runServe(args []string) {
 		progress = fs.Bool("progress", false, "print pipeline trace events to stderr")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration; 0 = no limit")
 	)
+	var ob obsFlags
+	ob.register(fs)
 	fs.Parse(args)
 
 	g, err := loadGraph(*inFile, *genSpec)
@@ -66,10 +68,13 @@ func runServe(args []string) {
 	}
 	var opts []core.Option
 	if *progress {
-		opts = append(opts, core.WithObserver(core.ObserverFunc(func(ev core.TraceEvent) {
-			fmt.Fprintln(os.Stderr, "kappa:", ev)
-		})))
+		opts = append(opts, progressOption())
 	}
+	runObs, obsOpts, err := ob.setup(g, cfg)
+	if err != nil {
+		fail(err)
+	}
+	opts = append(opts, obsOpts...)
 
 	ln, err := net.Listen(*network, *listen)
 	if err != nil {
@@ -78,21 +83,25 @@ func runServe(args []string) {
 	defer ln.Close()
 	fmt.Fprintf(os.Stderr, "kappa: serving on %s, waiting for %d workers\n", ln.Addr(), cfg.NumPEs())
 
-	res, err := remote.Serve(ctx, ln, g, cfg, opts...)
+	res, err := remote.ServeMetered(ctx, ln, g, cfg, runObs.transportStats(), opts...)
 	if err != nil {
 		fail(err)
 	}
+	if err := runObs.finish(res); err != nil {
+		fail(err)
+	}
 	p := part.FromBlocks(g, *k, *eps, res.Blocks)
-	fmt.Printf("graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
-	fmt.Printf("preset    %s (k=%d, eps=%.2f, dist=%s, pes=%d workers)\n", variant, *k, *eps, strategy, cfg.NumPEs())
-	fmt.Printf("cut       %d\n", res.Cut)
-	fmt.Printf("balance   %.4f (Lmax %d, feasible %v)\n", res.Balance, p.Lmax(), p.Feasible())
-	fmt.Printf("levels    %d\n", res.Levels)
-	fmt.Printf("time      total %v (coarsen %v, init %v, refine %v)\n",
+	sum := ob.summaryWriter()
+	fmt.Fprintf(sum, "graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+	fmt.Fprintf(sum, "preset    %s (k=%d, eps=%.2f, dist=%s, pes=%d workers)\n", variant, *k, *eps, strategy, cfg.NumPEs())
+	fmt.Fprintf(sum, "cut       %d\n", res.Cut)
+	fmt.Fprintf(sum, "balance   %.4f (Lmax %d, feasible %v)\n", res.Balance, p.Lmax(), p.Feasible())
+	fmt.Fprintf(sum, "levels    %d\n", res.Levels)
+	fmt.Fprintf(sum, "time      total %v (coarsen %v, init %v, refine %v)\n",
 		res.TotalTime.Round(1e6), res.CoarsenTime.Round(1e6), res.InitTime.Round(1e6), res.RefineTime.Round(1e6))
 	if *outFile != "" {
 		writePartition(*outFile, res.Blocks)
-		fmt.Printf("partition written to %s\n", *outFile)
+		fmt.Fprintf(sum, "partition written to %s\n", *outFile)
 	}
 }
 

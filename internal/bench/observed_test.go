@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// TestObservedMatchesUnobserved pins that attaching the full metric stack
+// changes nothing about the partitions: the observed harness reproduces the
+// unobserved rows exactly, and the registry ends up populated.
+func TestObservedMatchesUnobserved(t *testing.T) {
+	g := gen.RGG(10, 1)
+	cfg := core.NewConfig(core.Fast, 8)
+	cfg.Coarsen = core.CoarsenDistributed
+
+	plain := RunKaPPa(g, cfg, 2)
+	reg := obs.NewRegistry()
+	observed := RunKaPPaObserved(g, cfg, 2, reg)
+
+	if plain.AvgCut != observed.AvgCut || plain.BestCut != observed.BestCut || plain.AvgBal != observed.AvgBal {
+		t.Fatalf("observed run diverged: cut %v/%v vs %v/%v", observed.AvgCut, observed.BestCut, plain.AvgCut, plain.BestCut)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"kappa_runs_total 2", "kappa_transport_supersteps_total", "kappa_arena_borrows_total"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("registry missing %q after observed runs:\n%s", want, sb.String())
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -66,6 +68,7 @@ type Env struct {
 	Arena *mem.Arena
 
 	observers []Observer
+	stats     *dist.TransportStats
 	refineWS  sync.Pool // *refine.Workspace, reused across pairs/levels/iterations
 }
 
@@ -88,12 +91,14 @@ func (e *Env) Emit(ev TraceEvent) {
 }
 
 // transportFor returns the Transport distributed coarsening must use for a
-// superstep sequence over pes PEs.
+// superstep sequence over pes PEs, metered when the run carries transport
+// stats (dist.Metered is the identity for nil stats).
 func (e *Env) transportFor(pes int) dist.Transport {
-	if e.Transport != nil {
-		return e.Transport
+	t := e.Transport
+	if t == nil {
+		t = dist.NewExchanger(pes)
 	}
-	return dist.NewExchanger(pes)
+	return dist.Metered(t, e.stats)
 }
 
 // Pipeline is the composable KaPPa runner: four pluggable stages, an
@@ -113,6 +118,11 @@ type Pipeline struct {
 	Refiner     Refiner
 	Transport   dist.Transport
 	Observers   []Observer
+	// Stats, when non-nil, receives per-PE transport counters from every
+	// superstep of distributed coarsening: the Env's transports are wrapped
+	// with dist.Metered. nil (the default) leaves transports unwrapped — the
+	// hot path is untouched.
+	Stats *dist.TransportStats
 	// Arena is the scratch arena runs draw their temporaries from. nil
 	// gives every Run a private arena; setting one (WithArena) lets
 	// repeated runs — benchmark repetitions, a partitioning service —
@@ -135,6 +145,14 @@ func WithObserver(o Observer) Option {
 // configured PE count; Run rejects a mismatch as ErrInvalidConfig.
 func WithTransport(t dist.Transport) Option {
 	return func(p *Pipeline) { p.Transport = t }
+}
+
+// WithTransportStats meters every superstep of distributed coarsening into
+// s: message and superstep counts and barrier time, per PE. The counters are
+// atomic, so s may be scraped (obs.BindTransport) while the run is in
+// flight. A nil s is the identity.
+func WithTransportStats(s *dist.TransportStats) Option {
+	return func(p *Pipeline) { p.Stats = s }
 }
 
 // WithArena makes runs draw their scratch buffers (matching candidate
@@ -202,6 +220,10 @@ func (pl *Pipeline) Run(ctx context.Context, g *graph.Graph, cfg Config) (Result
 		return Result{}, fmt.Errorf("%w: transport connects %d PEs, configuration uses %d",
 			ErrInvalidConfig, pl.Transport.PEs(), cfg.pes())
 	}
+	if pl.Stats != nil && pl.Stats.PEs() < cfg.pes() {
+		return Result{}, fmt.Errorf("%w: transport stats track %d PEs, configuration uses %d",
+			ErrInvalidConfig, pl.Stats.PEs(), cfg.pes())
+	}
 	arena := pl.Arena
 	if arena == nil {
 		arena = mem.NewArena()
@@ -211,6 +233,7 @@ func (pl *Pipeline) Run(ctx context.Context, g *graph.Graph, cfg Config) (Result
 		Transport:   pl.Transport,
 		Arena:       arena,
 		observers:   pl.Observers,
+		stats:       pl.Stats,
 	}
 	if env.Distributor == nil {
 		env.Distributor = strategyDistributor{}
@@ -230,9 +253,17 @@ func (pl *Pipeline) Run(ctx context.Context, g *graph.Graph, cfg Config) (Result
 
 	start := time.Now()
 
+	// Each phase runs under a pprof goroutine label (inherited by every
+	// worker goroutine the phase spawns), so CPU profiles of a run split by
+	// stage. A handful of label allocations per run — noise next to a phase.
+
 	// ------ Contraction phase (§3) ------
 	tc := time.Now()
-	h, err := coarsener.Coarsen(ctx, g, &cfg, env)
+	var h *coarsen.Hierarchy
+	var err error
+	pprof.Do(ctx, pprof.Labels("stage", PhaseCoarsen.String()), func(ctx context.Context) {
+		h, err = coarsener.Coarsen(ctx, g, &cfg, env)
+	})
 	if err != nil {
 		return Result{}, fmt.Errorf("core: coarsening: %w", err)
 	}
@@ -244,7 +275,11 @@ func (pl *Pipeline) Run(ctx context.Context, g *graph.Graph, cfg Config) (Result
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("core: initial partitioning: %w", err)
 	}
-	block, cut, err := initial.InitialPartition(ctx, h.Coarsest, &cfg, env)
+	var block []int32
+	var cut int64
+	pprof.Do(ctx, pprof.Labels("stage", PhaseInit.String()), func(ctx context.Context) {
+		block, cut, err = initial.InitialPartition(ctx, h.Coarsest, &cfg, env)
+	})
 	if err != nil {
 		return Result{}, fmt.Errorf("core: initial partitioning: %w", err)
 	}
@@ -254,7 +289,10 @@ func (pl *Pipeline) Run(ctx context.Context, g *graph.Graph, cfg Config) (Result
 
 	// ------ Refinement phase (§5) ------
 	tr := time.Now()
-	p, err := refiner.Refine(ctx, h, block, &cfg, env)
+	var p *part.Partition
+	pprof.Do(ctx, pprof.Labels("stage", PhaseRefine.String()), func(ctx context.Context) {
+		p, err = refiner.Refine(ctx, h, block, &cfg, env)
+	})
 	if err != nil {
 		return Result{}, fmt.Errorf("core: refinement: %w", err)
 	}
@@ -336,7 +374,13 @@ func CoarsenWith(ctx context.Context, g *graph.Graph, cfg *Config, env *Env, ker
 				return nil, err
 			}
 		}
-		cg, f2c, matchT, contractT, err := kernel(ctx, cur, cfg, blocks, level, maxPair)
+		var cg *graph.Graph
+		var f2c []int32
+		var matchT, contractT time.Duration
+		var err error
+		pprof.Do(ctx, pprof.Labels("level", strconv.Itoa(level)), func(ctx context.Context) {
+			cg, f2c, matchT, contractT, err = kernel(ctx, cur, cfg, blocks, level, maxPair)
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -131,6 +131,7 @@ type socketPE struct {
 type SocketTransport struct {
 	pes   int
 	codec BatchCodec
+	stats *TransportStats
 
 	mu    sync.Mutex
 	conns map[int]*socketPE
@@ -143,6 +144,11 @@ var _ Transport = (*SocketTransport)(nil)
 func NewSocketTransport(pes int, codec BatchCodec) *SocketTransport {
 	return &SocketTransport{pes: pes, codec: codec, conns: make(map[int]*socketPE)}
 }
+
+// SetStats attaches s as the transport's byte/frame counter: every Exchange
+// adds its frame counts and payload bytes to s's entry for the calling PE.
+// Call before the first Exchange; nil detaches.
+func (t *SocketTransport) SetStats(s *TransportStats) { t.stats = s }
 
 // AddPE attaches conn as local PE pe's connection and sends the hello frame.
 func (t *SocketTransport) AddPE(pe int, conn net.Conn) error {
@@ -247,6 +253,12 @@ func (t *SocketTransport) Exchange(pe int, out [][]Msg) []Msg {
 	if err != nil {
 		panic(&SocketError{fmt.Errorf("PE %d inbox decode: %w", pe, err)})
 	}
+	if st := t.stats.PE(pe); st != nil {
+		st.FramesSent.Add(1)
+		st.BytesSent.Add(int64(len(buf)))
+		st.FramesRecv.Add(1)
+		st.BytesRecv.Add(int64(nb))
+	}
 	return c.msgs
 }
 
@@ -271,6 +283,7 @@ type hubConn struct {
 // message, so any BatchCodec works across it unchanged.
 type SocketHub struct {
 	pes   int
+	stats *TransportStats
 	mu    sync.Mutex
 	conns []*hubConn
 }
@@ -280,6 +293,14 @@ type SocketHub struct {
 func NewSocketHub(pes int) *SocketHub {
 	return &SocketHub{pes: pes, conns: make([]*hubConn, pes)}
 }
+
+// SetStats attaches s as the hub's traffic counter. The hub records each
+// PE's traffic from that PE's perspective: FramesSent/BytesSent are the
+// frames the PE sent (which the hub read), FramesRecv/BytesRecv the inbox
+// frames the hub wrote back, and Supersteps the routed superstep count —
+// per-worker transport visibility without touching the worker processes.
+// Call before Route; nil detaches.
+func (h *SocketHub) SetStats(s *TransportStats) { h.stats = s }
 
 // AddConn registers the transport connection of PE pe. The hello frame must
 // already have been consumed by the caller (Serve does this itself).
@@ -364,6 +385,11 @@ func (h *SocketHub) Route() error {
 			if closed > 0 {
 				return fmt.Errorf("dist: hub: PE %d disconnected at superstep %d but PE %d kept going", closed-1, step, pe)
 			}
+			if st := h.stats.PE(pe); st != nil {
+				st.FramesSent.Add(1)
+				st.BytesSent.Add(int64(len(c.buf)))
+				st.Supersteps.Add(1)
+			}
 		}
 		if closed == h.pes {
 			return nil // all PEs finished their superstep sequence
@@ -382,6 +408,10 @@ func (h *SocketHub) Route() error {
 			}
 			if err := c.bw.Flush(); err != nil {
 				return fmt.Errorf("dist: hub: replying to PE %d at superstep %d: %w", q, step, err)
+			}
+			if st := h.stats.PE(q); st != nil {
+				st.FramesRecv.Add(1)
+				st.BytesRecv.Add(int64(total))
 			}
 		}
 	}

@@ -33,20 +33,39 @@ const maxFree = 64
 // The zero value is ready to use; so is nil (every method on a nil arena
 // degenerates to make / no-op).
 type Arena struct {
-	mu    sync.Mutex
-	i32   [][]int32
-	i64   [][]int64
-	u32   [][]uint32
-	f64   [][]float64
-	bl    [][]bool
-	by    [][]byte
-	gets  int64 // borrows served
-	hits  int64 // borrows served from a free list
-	grews int64 // borrows that had to allocate
+	mu  sync.Mutex
+	i32 [][]int32
+	i64 [][]int64
+	u32 [][]uint32
+	f64 [][]float64
+	bl  [][]bool
+	by  [][]byte
+
+	// Counters behind Stats; all guarded by mu.
+	gets       int64 // borrows served
+	hits       int64 // borrows served from a free list
+	grews      int64 // borrows that had to allocate
+	allocBytes int64 // bytes of fresh backing arrays ever made
+	liveBytes  int64 // bytes currently out with borrowers
 }
 
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
+
+// ArenaStats is a point-in-time snapshot of an arena's accounting: how many
+// borrows it served, how many were reuse (free-list hits) versus fresh
+// allocations (misses), and where the bytes are — allocated over the arena's
+// lifetime, currently out with borrowers, or idle in the free lists. It is
+// the data source of the arena gauges of internal/obs.
+type ArenaStats struct {
+	Borrows int64 // borrows served
+	Reused  int64 // borrows served from a free list (hits)
+	Misses  int64 // borrows that had to allocate fresh
+
+	AllocatedBytes int64 // bytes of fresh backing arrays made so far
+	LiveBytes      int64 // bytes currently borrowed and not yet returned
+	PooledBytes    int64 // bytes sitting idle in the free lists
+}
 
 // take removes the best-fitting free slice with capacity >= n, or reports
 // failure. Best fit (smallest sufficient capacity) keeps the big finest-level
@@ -76,20 +95,44 @@ func put[T any](list *[][]T, s []T) {
 	*list = append(*list, s[:0])
 }
 
+// borrow serves one borrow from the free list (or fresh) under a's lock and
+// maintains the byte accounting; reused reports a free-list hit (whose
+// contents are stale and may need clearing — see Bool).
+func borrow[T any](a *Arena, list *[][]T, n int, elemSize int64) (s []T, reused bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gets++
+	if s, ok := take(list, n); ok {
+		a.hits++
+		a.liveBytes += int64(cap(s)) * elemSize
+		return s, true
+	}
+	a.grews++
+	a.allocBytes += int64(n) * elemSize
+	a.liveBytes += int64(n) * elemSize
+	return make([]T, n), false
+}
+
+// release returns a borrowed slice to the free list and credits its bytes.
+// Adopted slices (Put without a matching borrow) can over-credit; the live
+// counter clamps at zero so the gauge never reads negative.
+func release[T any](a *Arena, list *[][]T, s []T, elemSize int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.liveBytes -= int64(cap(s)) * elemSize
+	if a.liveBytes < 0 {
+		a.liveBytes = 0
+	}
+	put(list, s)
+}
+
 // Int32 borrows a scratch []int32 of length n (contents undefined).
 func (a *Arena) Int32(n int) []int32 {
 	if a == nil {
 		return make([]int32, n)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.gets++
-	if s, ok := take(&a.i32, n); ok {
-		a.hits++
-		return s
-	}
-	a.grews++
-	return make([]int32, n)
+	s, _ := borrow(a, &a.i32, n, 4)
+	return s
 }
 
 // PutInt32 returns a slice borrowed with Int32 (or adopts any other
@@ -99,9 +142,7 @@ func (a *Arena) PutInt32(s []int32) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	put(&a.i32, s)
+	release(a, &a.i32, s, 4)
 }
 
 // Int64 borrows a scratch []int64 of length n (contents undefined).
@@ -109,15 +150,8 @@ func (a *Arena) Int64(n int) []int64 {
 	if a == nil {
 		return make([]int64, n)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.gets++
-	if s, ok := take(&a.i64, n); ok {
-		a.hits++
-		return s
-	}
-	a.grews++
-	return make([]int64, n)
+	s, _ := borrow(a, &a.i64, n, 8)
+	return s
 }
 
 // PutInt64 returns a slice borrowed with Int64.
@@ -125,9 +159,7 @@ func (a *Arena) PutInt64(s []int64) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	put(&a.i64, s)
+	release(a, &a.i64, s, 8)
 }
 
 // Uint32 borrows a scratch []uint32 of length n (contents undefined).
@@ -135,15 +167,8 @@ func (a *Arena) Uint32(n int) []uint32 {
 	if a == nil {
 		return make([]uint32, n)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.gets++
-	if s, ok := take(&a.u32, n); ok {
-		a.hits++
-		return s
-	}
-	a.grews++
-	return make([]uint32, n)
+	s, _ := borrow(a, &a.u32, n, 4)
+	return s
 }
 
 // PutUint32 returns a slice borrowed with Uint32.
@@ -151,9 +176,7 @@ func (a *Arena) PutUint32(s []uint32) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	put(&a.u32, s)
+	release(a, &a.u32, s, 4)
 }
 
 // Float64 borrows a scratch []float64 of length n (contents undefined).
@@ -161,15 +184,8 @@ func (a *Arena) Float64(n int) []float64 {
 	if a == nil {
 		return make([]float64, n)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.gets++
-	if s, ok := take(&a.f64, n); ok {
-		a.hits++
-		return s
-	}
-	a.grews++
-	return make([]float64, n)
+	s, _ := borrow(a, &a.f64, n, 8)
+	return s
 }
 
 // PutFloat64 returns a slice borrowed with Float64.
@@ -177,9 +193,7 @@ func (a *Arena) PutFloat64(s []float64) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	put(&a.f64, s)
+	release(a, &a.f64, s, 8)
 }
 
 // Bool borrows a scratch []bool of length n, ZEROED (membership sets are the
@@ -188,19 +202,10 @@ func (a *Arena) Bool(n int) []bool {
 	if a == nil {
 		return make([]bool, n)
 	}
-	a.mu.Lock()
-	a.gets++
-	s, ok := take(&a.bl, n)
-	if ok {
-		a.hits++
-	} else {
-		a.grews++
+	s, reused := borrow(a, &a.bl, n, 1)
+	if reused {
+		clear(s)
 	}
-	a.mu.Unlock()
-	if !ok {
-		return make([]bool, n)
-	}
-	clear(s)
 	return s
 }
 
@@ -210,9 +215,7 @@ func (a *Arena) PutBool(s []bool) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	put(&a.bl, s)
+	release(a, &a.bl, s, 1)
 }
 
 // Bytes borrows a scratch []byte of length n (contents undefined).
@@ -220,15 +223,8 @@ func (a *Arena) Bytes(n int) []byte {
 	if a == nil {
 		return make([]byte, n)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.gets++
-	if s, ok := take(&a.by, n); ok {
-		a.hits++
-		return s
-	}
-	a.grews++
-	return make([]byte, n)
+	s, _ := borrow(a, &a.by, n, 1)
+	return s
 }
 
 // PutBytes returns a slice borrowed with Bytes.
@@ -236,19 +232,34 @@ func (a *Arena) PutBytes(s []byte) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	put(&a.by, s)
+	release(a, &a.by, s, 1)
 }
 
-// Stats reports how many borrows the arena served and how many of those were
-// satisfied from a free list (reuse) versus fresh allocations. Tests use it
-// to assert that reuse actually happens.
-func (a *Arena) Stats() (gets, reused, allocated int64) {
+// pooled sums the capacities of one free list in bytes.
+func pooled[T any](list [][]T, elemSize int64) int64 {
+	var b int64
+	for _, s := range list {
+		b += int64(cap(s)) * elemSize
+	}
+	return b
+}
+
+// Stats reports the arena's accounting: borrows served and the reuse/miss
+// split, plus the byte-level view (allocated over the arena's lifetime,
+// currently borrowed, idle in the pools). A nil arena reports zeros.
+func (a *Arena) Stats() ArenaStats {
 	if a == nil {
-		return 0, 0, 0
+		return ArenaStats{}
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.gets, a.hits, a.grews
+	return ArenaStats{
+		Borrows:        a.gets,
+		Reused:         a.hits,
+		Misses:         a.grews,
+		AllocatedBytes: a.allocBytes,
+		LiveBytes:      a.liveBytes,
+		PooledBytes: pooled(a.i32, 4) + pooled(a.i64, 8) + pooled(a.u32, 4) +
+			pooled(a.f64, 8) + pooled(a.bl, 1) + pooled(a.by, 1),
+	}
 }

@@ -16,9 +16,35 @@ func TestArenaReuse(t *testing.T) {
 	if cap(s2) < 100 {
 		t.Fatalf("expected the returned buffer to be reused, got cap %d", cap(s2))
 	}
-	gets, reused, allocated := a.Stats()
-	if gets != 2 || reused != 1 || allocated != 1 {
-		t.Fatalf("stats = (%d, %d, %d), want (2, 1, 1)", gets, reused, allocated)
+	st := a.Stats()
+	if st.Borrows != 2 || st.Reused != 1 || st.Misses != 1 {
+		t.Fatalf("stats = (%d, %d, %d), want (2, 1, 1)", st.Borrows, st.Reused, st.Misses)
+	}
+}
+
+func TestArenaStatsBytes(t *testing.T) {
+	a := NewArena()
+	s := a.Int32(100) // 400 fresh bytes
+	st := a.Stats()
+	if st.AllocatedBytes != 400 || st.LiveBytes != 400 || st.PooledBytes != 0 {
+		t.Fatalf("after borrow: %+v", st)
+	}
+	a.PutInt32(s)
+	st = a.Stats()
+	if st.AllocatedBytes != 400 || st.LiveBytes != 0 || st.PooledBytes != 400 {
+		t.Fatalf("after return: %+v", st)
+	}
+	s2 := a.Int32(50) // reuse: live counts the full backing capacity
+	st = a.Stats()
+	if st.AllocatedBytes != 400 || st.LiveBytes != 400 || st.PooledBytes != 0 {
+		t.Fatalf("after reuse: %+v", st)
+	}
+	a.PutInt32(s2)
+	// Adopted slices (returned without a borrow) must not drive the live
+	// gauge negative.
+	a.PutInt64(make([]int64, 8))
+	if st := a.Stats(); st.LiveBytes != 0 {
+		t.Fatalf("live bytes = %d after adoption, want 0", st.LiveBytes)
 	}
 }
 
@@ -56,7 +82,7 @@ func TestArenaNilSafe(t *testing.T) {
 		t.Fatal("nil arena must fall back to make")
 	}
 	a.PutInt32(nil) // must not panic
-	if g, r, al := a.Stats(); g != 0 || r != 0 || al != 0 {
+	if st := a.Stats(); st != (ArenaStats{}) {
 		t.Fatal("nil arena stats must be zero")
 	}
 }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHTTPEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "liveness").Inc()
+	srv, addr, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "# TYPE up_total counter") || !strings.Contains(body, "up_total 1") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	body, ctype = get("/metrics.json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics.json content type = %q", ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Name != "up_total" {
+		t.Fatalf("/metrics.json snapshot: %+v", snap)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline returned nothing")
+	}
+}

@@ -61,10 +61,20 @@ type coordinator struct {
 // Cancelling ctx closes every connection and the listener, so blocked
 // accepts and superstep reads abort promptly.
 func Serve(ctx context.Context, ln net.Listener, g *graph.Graph, cfg core.Config, opts ...core.Option) (core.Result, error) {
+	return ServeMetered(ctx, ln, g, cfg, nil, opts...)
+}
+
+// ServeMetered is Serve with the hub's traffic counted into stats: the
+// coordinator's per-worker view of frames, payload bytes, and routed
+// supersteps, readable while the run is in flight (obs.BindTransport) and
+// afterwards for the run report's transport section. A nil stats is exactly
+// Serve.
+func ServeMetered(ctx context.Context, ln net.Listener, g *graph.Graph, cfg core.Config, stats *dist.TransportStats, opts ...core.Option) (core.Result, error) {
 	pes := cfg.NumPEs()
 	cfg.Coarsen = core.CoarsenDistributed
 
 	hub := dist.NewSocketHub(pes)
+	hub.SetStats(stats)
 	co := &coordinator{pes: pes, ctrl: make([]*ctrlConn, pes)}
 	var transportConns []net.Conn
 	var connMu sync.Mutex

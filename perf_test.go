@@ -41,8 +41,8 @@ func TestRunArenaReuseByteIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if gets, reused, _ := arena.Stats(); gets == 0 || reused == 0 {
-				t.Fatalf("%s/%s: arena not exercised (gets=%d reused=%d)", name, mode, gets, reused)
+			if st := arena.Stats(); st.Borrows == 0 || st.Reused == 0 {
+				t.Fatalf("%s/%s: arena not exercised (gets=%d reused=%d)", name, mode, st.Borrows, st.Reused)
 			}
 			for v := range fresh.Blocks {
 				if first.Blocks[v] != fresh.Blocks[v] || second.Blocks[v] != fresh.Blocks[v] {

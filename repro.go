@@ -27,6 +27,7 @@ package repro
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/part"
 )
 
@@ -180,6 +182,59 @@ const (
 
 // Timings is an Observer accumulating per-phase durations from PhaseEvents.
 type Timings = core.Timings
+
+// MetricsRegistry is a dependency-free metrics registry (counters, gauges,
+// fixed-bound histograms) exposed as Prometheus text and as a JSON snapshot;
+// see WithMetrics and MetricsHandler.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithMetrics attaches an observer that feeds the run's trace events into
+// r's pipeline metric catalog (kappa_runs_total, kappa_level_*,
+// kappa_init_cut, kappa_refine_*, kappa_phase_seconds).
+func WithMetrics(r *MetricsRegistry) Option {
+	return core.WithObserver(obs.NewPipelineObserver(r))
+}
+
+// MetricsHandler serves r: /metrics (Prometheus text), /metrics.json
+// (structured snapshot), and /debug/pprof/.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
+
+// ArenaStats is a point-in-time snapshot of an Arena's accounting; see
+// Arena.Stats.
+type ArenaStats = mem.ArenaStats
+
+// BindArenaMetrics registers pull gauges/counters over a's Stats on r.
+func BindArenaMetrics(r *MetricsRegistry, a *Arena) { obs.BindArena(r, a) }
+
+// TransportStats aggregates per-PE transport counters (messages, bytes,
+// frames, supersteps, barrier time); see WithTransportStats.
+type TransportStats = dist.TransportStats
+
+// NewTransportStats returns zeroed counters for pes PEs.
+func NewTransportStats(pes int) *TransportStats { return dist.NewTransportStats(pes) }
+
+// WithTransportStats meters every superstep of distributed coarsening into
+// s; scrape-safe while the run is in flight.
+func WithTransportStats(s *TransportStats) Option { return core.WithTransportStats(s) }
+
+// BindTransportMetrics registers per-PE pull counters over s on r.
+func BindTransportMetrics(r *MetricsRegistry, s *TransportStats) { obs.BindTransport(r, s) }
+
+// Report is the structured record of one run; ReportObserver assembles it
+// from the trace stream (attach with WithObserver, then call Finish).
+type (
+	Report         = obs.Report
+	ReportObserver = obs.ReportObserver
+)
+
+// NewReportObserver returns an observer assembling a Report for a run of g
+// under cfg.
+func NewReportObserver(g *Graph, cfg Config) *ReportObserver {
+	return obs.NewReportObserver(g, cfg)
+}
 
 // ErrInvalidConfig wraps every configuration error returned by Run:
 // errors.Is(err, repro.ErrInvalidConfig) distinguishes usage errors from

@@ -51,11 +51,14 @@ examples:
 race:
 	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist ./internal/remote ./internal/obs .
 
-# fuzz smokes the native Go fuzz targets of the file-format parsers (METIS
-# text, binary CSR) for a few seconds each; CI runs this so the parsers can
-# never regress into panicking on malformed files. Longer local sessions:
+# fuzz smokes the native Go fuzz targets of the byte-level decoders — the
+# file-format parsers (METIS text, binary CSR) and the wire-format message
+# codec every socket frame flows through — for a few seconds each; CI runs
+# this so the decoders can never regress into panicking on malformed input.
+# Longer local sessions:
 #   go test ./internal/graphio -run=^$ -fuzz=FuzzReadMETIS -fuzztime=5m
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/graphio -run=^$$ -fuzz=FuzzReadMETIS -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/graphio -run=^$$ -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -run=^$$ -fuzz=FuzzMsgCodec -fuzztime=$(FUZZTIME)

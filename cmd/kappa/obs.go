@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/remote"
 )
 
 // progressOption is the shared -progress observer: every trace event of the
@@ -59,6 +60,7 @@ type runObs struct {
 	stats    *dist.TransportStats
 	arena    *mem.Arena
 	reporter *obs.ReportObserver
+	counters *remote.Counters
 	server   interface{ Close() error }
 }
 
@@ -99,6 +101,19 @@ func (f *obsFlags) setup(g *graph.Graph, cfg core.Config) (*runObs, []core.Optio
 	return o, opts, nil
 }
 
+// bindRemote hooks the coordinator's fault-tolerance counters into the
+// metrics registry and remembers them for the report's faults section. A nil
+// receiver is a no-op — `kappa serve` calls it unconditionally.
+func (o *runObs) bindRemote(c *remote.Counters) {
+	if o == nil {
+		return
+	}
+	o.counters = c
+	if o.registry != nil {
+		obs.BindRemote(o.registry, c)
+	}
+}
+
 // transportStats returns the stats sink to meter transports into, nil when
 // observability is off (nil receiver included).
 func (o *runObs) transportStats() *dist.TransportStats {
@@ -120,6 +135,7 @@ func (o *runObs) finish(res core.Result) error {
 	}
 	if o.reporter != nil {
 		rep := o.reporter.Finish(res, o.stats, o.arena)
+		rep.Faults = obs.FaultSection(o.counters)
 		out := os.Stdout
 		if o.flags.report != "-" {
 			f, err := os.Create(o.flags.report)

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -36,6 +37,10 @@ func runServe(args []string) {
 		outFile  = fs.String("out", "", "write the block of each node, one per line")
 		progress = fs.Bool("progress", false, "print pipeline trace events to stderr")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration; 0 = no limit")
+		wtimeout = fs.Duration("worker-timeout", 0,
+			"declare a worker dead when it is silent for this long (bounds every control and transport frame); 0 = wait forever")
+		hbeat = fs.Duration("heartbeat", 0,
+			"interval of coordinator heartbeats that keep workers alive during local phases; 0 = none")
 	)
 	var ob obsFlags
 	ob.register(fs)
@@ -83,7 +88,15 @@ func runServe(args []string) {
 	defer ln.Close()
 	fmt.Fprintf(os.Stderr, "kappa: serving on %s, waiting for %d workers\n", ln.Addr(), cfg.NumPEs())
 
-	res, err := remote.ServeMetered(ctx, ln, g, cfg, runObs.transportStats(), opts...)
+	counters := &remote.Counters{}
+	runObs.bindRemote(counters)
+	so := remote.ServeOptions{
+		Stats:         runObs.transportStats(),
+		WorkerTimeout: *wtimeout,
+		Heartbeat:     *hbeat,
+		Counters:      counters,
+	}
+	res, err := remote.ServeWith(ctx, ln, g, cfg, so, opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -94,6 +107,10 @@ func runServe(args []string) {
 	sum := ob.summaryWriter()
 	fmt.Fprintf(sum, "graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
 	fmt.Fprintf(sum, "preset    %s (k=%d, eps=%.2f, dist=%s, pes=%d workers)\n", variant, *k, *eps, strategy, cfg.NumPEs())
+	if s := counters.Snapshot(); s.WorkerFailures+s.Reassignments+s.LocalFallbacks+s.LevelRetries > 0 {
+		fmt.Fprintf(sum, "faults    workers_failed=%d reassigned=%d level_retries=%d local_fallbacks=%d\n",
+			s.WorkerFailures, s.Reassignments, s.LevelRetries, s.LocalFallbacks)
+	}
 	fmt.Fprintf(sum, "cut       %d\n", res.Cut)
 	fmt.Fprintf(sum, "balance   %.4f (Lmax %d, feasible %v)\n", res.Balance, p.Lmax(), p.Feasible())
 	fmt.Fprintf(sum, "levels    %d\n", res.Levels)
@@ -116,6 +133,14 @@ func runWorker(args []string) {
 		network = fs.String("network", "tcp", "coordinator network: tcp | unix")
 		outFile = fs.String("out", "", "write the final partition broadcast by the coordinator, one block per line")
 		timeout = fs.Duration("timeout", 0, "give up after this duration; 0 = no limit")
+		retry   = fs.Int("retry", 1, "connection attempts before giving up (handshake retries with backoff)")
+		backoff = fs.Duration("backoff", 200*time.Millisecond,
+			"base delay between connection attempts (exponential with jitter, capped at 16x)")
+		dialTO = fs.Duration("dial-timeout", 0, "bound on each individual connection attempt; 0 = none")
+		hbeat  = fs.Duration("heartbeat", 0,
+			"interval of worker heartbeats that keep the coordinator's deadline refreshed; 0 = none")
+		faultsFl = fs.String("faults", "",
+			"fault-injection schedule for chaos testing, e.g. 'ctrl:read:3:kill;pe0:write:2:delay:50ms'")
 	)
 	fs.Parse(args)
 
@@ -125,7 +150,21 @@ func runWorker(args []string) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	wr, err := remote.Work(ctx, *network, *connect)
+	faults, err := dist.ParseFaultSchedule(*faultsFl)
+	if err != nil {
+		fail(fmt.Errorf("%w: %v", core.ErrInvalidConfig, err))
+	}
+	wo := remote.WorkOptions{
+		Retry: remote.RetryPolicy{
+			Attempts: *retry,
+			Timeout:  *dialTO,
+			Backoff:  *backoff,
+			Seed:     uint64(os.Getpid()),
+		},
+		Heartbeat: *hbeat,
+		Faults:    faults,
+	}
+	wr, err := remote.WorkWith(ctx, *network, *connect, wo)
 	if err != nil {
 		fail(err)
 	}

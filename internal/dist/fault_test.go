@@ -1,0 +1,326 @@
+// Fault-injection and I/O-deadline tests for the socket backend. Like the
+// socket tests, these live in the external test package to use wire.MsgCodec.
+package dist_test
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/wire"
+)
+
+// unixPair returns two ends of a fresh unix-socket connection.
+func unixPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "pair.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			accepted <- nil
+			return
+		}
+		accepted <- c
+	}()
+	client, err = net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-accepted
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// exchangeErr runs one Exchange and converts its *SocketError panic (the
+// Transport interface has no error returns) back into an error.
+func exchangeErr(tr *dist.SocketTransport, pe int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			se, ok := r.(*dist.SocketError)
+			if !ok {
+				panic(r)
+			}
+			err = se
+		}
+	}()
+	tr.Exchange(pe, make([][]dist.Msg, tr.PEs()))
+	return nil
+}
+
+// TestSocketTransportDeadlineStalledHub pins the half-closed-peer bug: a hub
+// that accepts the connection but never replies used to block Exchange's
+// inbox read forever. With SetIODeadline the stall surfaces promptly as a
+// *SocketError wrapping os.ErrDeadlineExceeded.
+func TestSocketTransportDeadlineStalledHub(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "hub.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	held := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		held <- c // accept, then go silent: never read, never reply
+	}()
+
+	tr := dist.NewSocketTransport(1, wire.MsgCodec{})
+	tr.SetIODeadline(50 * time.Millisecond)
+	if err := tr.Dial("unix", sock, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	start := time.Now()
+	err = exchangeErr(tr, 0)
+	if err == nil {
+		t.Fatal("Exchange succeeded against a hub that never replied")
+	}
+	var se *dist.SocketError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *SocketError", err)
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("error %v does not wrap os.ErrDeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	if c := <-held; c != nil {
+		c.Close()
+	}
+}
+
+// TestSocketHubDeadlineStalledPE covers the hub side: once a superstep is in
+// flight (PE 0's frame arrived), a PE that never sends its frame trips the
+// hub's intra-superstep deadline and Route returns instead of hanging.
+func TestSocketHubDeadlineStalledPE(t *testing.T) {
+	const pes = 2
+	sock := filepath.Join(t.TempDir(), "hub.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	hub := dist.NewSocketHub(pes)
+	hub.SetIODeadline(100 * time.Millisecond)
+	tr := dist.NewSocketTransport(pes, wire.MsgCodec{})
+	tr.SetIODeadline(time.Second)
+	errc := make(chan error, 1)
+	go func() {
+		for got := 0; got < pes; got++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- err
+				return
+			}
+			br := bufio.NewReader(conn)
+			hello, err := dist.ReadHello(br)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if err := hub.AddConnBuffered(hello.PE, conn, br); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- hub.Route()
+	}()
+	for pe := 0; pe < pes; pe++ {
+		if err := tr.Dial("unix", sock, pe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer tr.Close()
+
+	// PE 0 exchanges; PE 1 stays silent. The hub reads PE 0's frame (the idle
+	// wait ends), then PE 1's read deadline expires and Route fails.
+	peErr := make(chan error, 1)
+	go func() { peErr <- exchangeErr(tr, 0) }()
+	if err := <-errc; err == nil {
+		t.Fatal("Route returned nil with PE 1 silent mid-superstep")
+	} else if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Route error %v does not wrap os.ErrDeadlineExceeded", err)
+	}
+	if err := <-peErr; err == nil {
+		t.Fatal("PE 0's Exchange succeeded though the hub aborted the superstep")
+	}
+}
+
+// TestFaultScheduleWrapIdentity: empty schedules and non-matching labels
+// leave the connection unwrapped — production runs pay nothing.
+func TestFaultScheduleWrapIdentity(t *testing.T) {
+	client, _ := unixPair(t)
+	var nilSched *dist.FaultSchedule
+	if got := nilSched.Wrap("pe0", client); got != client {
+		t.Fatal("nil schedule wrapped the connection")
+	}
+	if got := dist.NewFaultSchedule().Wrap("pe0", client); got != client {
+		t.Fatal("empty schedule wrapped the connection")
+	}
+	sched := dist.NewFaultSchedule(dist.FaultRule{Conn: "ctrl", Op: dist.OpRead, Nth: 1, Action: dist.ActKill})
+	if got := sched.Wrap("pe0", client); got != client {
+		t.Fatal("schedule wrapped a connection whose label matches no rule")
+	}
+	if got := sched.Wrap("ctrl", client); got == client {
+		t.Fatal("schedule did not wrap a matching connection")
+	}
+	if n := sched.Injected(); n != 0 {
+		t.Fatalf("wrapping alone injected %d faults", n)
+	}
+}
+
+// TestFaultKillOneShot: a kill rule fires on exactly its Nth write, exactly
+// once per schedule — a fresh connection wrapped afterwards (recovery
+// re-dialing) is untouched even though its op counter restarts.
+func TestFaultKillOneShot(t *testing.T) {
+	client, server := unixPair(t)
+	sched := dist.NewFaultSchedule(dist.FaultRule{Conn: "pe0", Op: dist.OpWrite, Nth: 2, Action: dist.ActKill})
+	wrapped := sched.Wrap("pe0", client)
+	if _, err := wrapped.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := wrapped.Write([]byte("b")); err == nil {
+		t.Fatal("write 2 survived the kill rule")
+	}
+	if n := sched.Injected(); n != 1 {
+		t.Fatalf("Injected() = %d, want 1", n)
+	}
+	server.Close()
+
+	// Recovery: same label, fresh connection, op counter restarts at 1 — but
+	// the rule is spent, so write 2 passes.
+	client2, server2 := unixPair(t)
+	wrapped2 := sched.Wrap("pe0", client2)
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 2)
+		io.ReadFull(server2, buf)
+		done <- buf
+	}()
+	if _, err := wrapped2.Write([]byte("c")); err != nil {
+		t.Fatalf("replacement write 1: %v", err)
+	}
+	if _, err := wrapped2.Write([]byte("d")); err != nil {
+		t.Fatalf("replacement write 2 re-tripped the one-shot rule: %v", err)
+	}
+	if got := <-done; string(got) != "cd" {
+		t.Fatalf("replacement carried %q, want \"cd\"", got)
+	}
+	if n := sched.Injected(); n != 1 {
+		t.Fatalf("Injected() = %d after recovery, want still 1", n)
+	}
+}
+
+// TestFaultDropDupDelay covers the remaining write actions byte-for-byte.
+func TestFaultDropDupDelay(t *testing.T) {
+	client, server := unixPair(t)
+	sched, err := dist.ParseFaultSchedule("pe3:write:2:drop; pe3:write:4:dup; pe3:write:5:delay:1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := sched.Wrap("pe3", client)
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 5)
+		io.ReadFull(server, buf)
+		done <- buf
+	}()
+	for _, s := range []string{"a", "b", "c", "d", "e"} {
+		if _, err := wrapped.Write([]byte(s)); err != nil {
+			t.Fatalf("write %q: %v", s, err)
+		}
+	}
+	// "b" dropped, "d" duplicated, "e" delayed but delivered.
+	if got := <-done; string(got) != "acdde" {
+		t.Fatalf("peer saw %q, want \"acdde\"", got)
+	}
+	if n := sched.Injected(); n != 3 {
+		t.Fatalf("Injected() = %d, want 3", n)
+	}
+}
+
+// TestFaultReadKill: read-side kills fail the blocked reader.
+func TestFaultReadKill(t *testing.T) {
+	client, server := unixPair(t)
+	sched := dist.NewFaultSchedule(dist.FaultRule{Op: dist.OpRead, Nth: 1, Action: dist.ActKill})
+	wrapped := sched.Wrap("anything", client) // empty Conn matches every label
+	go server.Write([]byte("x"))
+	if _, err := wrapped.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read survived the kill rule")
+	}
+	if n := sched.Injected(); n != 1 {
+		t.Fatalf("Injected() = %d, want 1", n)
+	}
+}
+
+// TestFaultScheduleParse checks the clause grammar: round-trip through rule
+// String()s and rejection of malformed clauses.
+func TestFaultScheduleParse(t *testing.T) {
+	sched, err := dist.ParseFaultSchedule("ctrl:read:3:kill;pe0:write:2:delay:50ms; *:write:9:drop ;;hub1:write:1:dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Empty() {
+		t.Fatal("parsed schedule is empty")
+	}
+	want := []dist.FaultRule{
+		{Conn: "ctrl", Op: dist.OpRead, Nth: 3, Action: dist.ActKill},
+		{Conn: "pe0", Op: dist.OpWrite, Nth: 2, Action: dist.ActDelay, Delay: 50 * time.Millisecond},
+		{Op: dist.OpWrite, Nth: 9, Action: dist.ActDrop},
+		{Conn: "hub1", Op: dist.OpWrite, Nth: 1, Action: dist.ActDup},
+	}
+	if got := sched.Rules(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed rules %v, want %v", got, want)
+	}
+	wantStr := []string{"ctrl:read:3:kill", "pe0:write:2:delay:50ms", "*:write:9:drop", "hub1:write:1:dup"}
+	for i, r := range sched.Rules() {
+		if got := r.String(); got != wantStr[i] {
+			t.Fatalf("rule %d renders %q, want %q", i, got, wantStr[i])
+		}
+	}
+
+	empty, err := dist.ParseFaultSchedule("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Empty() {
+		t.Fatal("empty string parsed to a non-empty schedule")
+	}
+
+	for _, bad := range []string{
+		"ctrl:read:3",         // missing action
+		"ctrl:peek:3:kill",    // unknown op
+		"ctrl:read:zero:kill", // bad index
+		"ctrl:read:0:kill",    // index must be 1-based
+		"ctrl:read:3:melt",    // unknown action
+		"ctrl:read:3:delay",   // delay without duration
+		"ctrl:read:3:delay:x", // bad duration
+	} {
+		if _, err := dist.ParseFaultSchedule(bad); err == nil {
+			t.Fatalf("clause %q parsed without error", bad)
+		}
+	}
+}

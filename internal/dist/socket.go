@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // The socket transport turns the Transport seam into real message passing:
@@ -129,9 +130,11 @@ type socketPE struct {
 // call; callers must consume it before the next superstep (both distributed
 // pipeline stages do).
 type SocketTransport struct {
-	pes   int
-	codec BatchCodec
-	stats *TransportStats
+	pes      int
+	codec    BatchCodec
+	stats    *TransportStats
+	deadline time.Duration
+	faults   *FaultSchedule
 
 	mu    sync.Mutex
 	conns map[int]*socketPE
@@ -150,11 +153,28 @@ func NewSocketTransport(pes int, codec BatchCodec) *SocketTransport {
 // Call before the first Exchange; nil detaches.
 func (t *SocketTransport) SetStats(s *TransportStats) { t.stats = s }
 
+// SetIODeadline bounds every Exchange I/O operation: each superstep send and
+// each inbox read must complete within d or Exchange panics with a
+// *SocketError wrapping os.ErrDeadlineExceeded. Without a deadline a
+// half-closed or stalled peer blocks the inbox read forever and the whole
+// superstep barrier hangs with it; with one, the stall surfaces as an
+// ordinary transport failure the caller's recovery path can handle. A
+// superstep is known to be in flight the moment our own frame is sent, so —
+// unlike the hub — the transport side can arm the deadline unconditionally.
+// Zero disables (the default). Call before the first Exchange.
+func (t *SocketTransport) SetIODeadline(d time.Duration) { t.deadline = d }
+
+// SetFaults attaches a fault-injection schedule: every connection added
+// after this call is wrapped per its "pe<N>" label (see FaultSchedule). Nil
+// or empty schedules leave connections unwrapped. Call before AddPE/Dial.
+func (t *SocketTransport) SetFaults(s *FaultSchedule) { t.faults = s }
+
 // AddPE attaches conn as local PE pe's connection and sends the hello frame.
 func (t *SocketTransport) AddPE(pe int, conn net.Conn) error {
 	if pe < 0 || pe >= t.pes {
 		return fmt.Errorf("dist: PE %d out of range [0, %d)", pe, t.pes)
 	}
+	conn = t.faults.Wrap(fmt.Sprintf("pe%d", pe), conn)
 	if err := WriteHello(conn, Hello{Role: RoleTransport, PE: pe}); err != nil {
 		return fmt.Errorf("dist: hello for PE %d: %w", pe, err)
 	}
@@ -226,6 +246,9 @@ func (t *SocketTransport) Exchange(pe int, out [][]Msg) []Msg {
 		buf = append(buf, seg...)
 	}
 	c.enc, c.in = buf, seg[:0]
+	if t.deadline > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(t.deadline))
+	}
 	if _, err := c.bw.Write(buf); err != nil {
 		panic(&SocketError{fmt.Errorf("PE %d superstep send: %w", pe, err)})
 	}
@@ -234,7 +257,12 @@ func (t *SocketTransport) Exchange(pe int, out [][]Msg) []Msg {
 	}
 
 	// Inbox frame: uvarint length, then the sender-ordered concatenation of
-	// every PE's batch for us.
+	// every PE's batch for us. The deadline covers the whole frame: the hub
+	// replies only once every PE's frame arrived, so a stalled peer anywhere
+	// in the system surfaces here as a deadline expiry.
+	if t.deadline > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(t.deadline))
+	}
 	nb, err := binary.ReadUvarint(c.br)
 	if err != nil {
 		panic(&SocketError{fmt.Errorf("PE %d superstep receive: %w", pe, err)})
@@ -246,6 +274,9 @@ func (t *SocketTransport) Exchange(pe int, out [][]Msg) []Msg {
 		c.in = make([]byte, nb)
 	}
 	c.in = c.in[:nb]
+	if t.deadline > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(t.deadline))
+	}
 	if _, err := io.ReadFull(c.br, c.in); err != nil {
 		panic(&SocketError{fmt.Errorf("PE %d superstep receive: %w", pe, err)})
 	}
@@ -282,10 +313,13 @@ type hubConn struct {
 // segments in sender order, and writes the replies. It never decodes a
 // message, so any BatchCodec works across it unchanged.
 type SocketHub struct {
-	pes   int
-	stats *TransportStats
-	mu    sync.Mutex
-	conns []*hubConn
+	pes      int
+	stats    *TransportStats
+	deadline time.Duration
+	faults   *FaultSchedule
+	mu       sync.Mutex
+	conns    []*hubConn
+	stopped  bool
 }
 
 // NewSocketHub returns a hub for pes PEs; attach connections with AddConn
@@ -302,16 +336,53 @@ func NewSocketHub(pes int) *SocketHub {
 // Call before Route; nil detaches.
 func (h *SocketHub) SetStats(s *TransportStats) { h.stats = s }
 
+// SetIODeadline bounds the hub's per-connection frame I/O. Unlike the
+// transport side, the hub cannot arm a blanket read deadline: between
+// supersteps it legitimately blocks for as long as the coordinator computes
+// (initial partitioning, refinement), so only intra-superstep reads are
+// bounded — the first PE's frame is awaited without deadline (that wait IS
+// the idle period), and once it starts arriving the step is in flight and
+// every remaining read and reply write must finish within d. Zero disables.
+func (h *SocketHub) SetIODeadline(d time.Duration) { h.deadline = d }
+
+// SetFaults attaches a fault-injection schedule: connections added after
+// this call are wrapped per their "hub<N>" label. Connections registered via
+// AddConnBuffered only get write-side injection (their reader predates the
+// wrap). Call before AddConn/Serve.
+func (h *SocketHub) SetFaults(s *FaultSchedule) { h.faults = s }
+
+// Stop closes every attached connection, failing any in-flight or future
+// superstep so a blocked Route call returns. The coordinator uses it to
+// collapse the current contraction level after detecting a dead worker:
+// every live worker's kernel aborts with a transport error instead of
+// blocking forever on a barrier that can no longer complete.
+func (h *SocketHub) Stop() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stopped = true
+	for _, c := range h.conns {
+		if c != nil {
+			c.conn.Close()
+		}
+	}
+}
+
 // AddConn registers the transport connection of PE pe. The hello frame must
 // already have been consumed by the caller (Serve does this itself).
 func (h *SocketHub) AddConn(pe int, conn net.Conn) error {
-	return h.AddConnBuffered(pe, conn, bufio.NewReaderSize(conn, 1<<16))
+	conn = h.faults.Wrap(fmt.Sprintf("hub%d", pe), conn)
+	return h.addConn(pe, conn, bufio.NewReaderSize(conn, 1<<16))
 }
 
 // AddConnBuffered is AddConn for callers that consumed the hello through
 // their own bufio.Reader (a shared accept loop): br's already-buffered bytes
-// stay with the connection.
+// stay with the connection. Fault schedules only reach this connection's
+// write side — br predates the wrap.
 func (h *SocketHub) AddConnBuffered(pe int, conn net.Conn, br *bufio.Reader) error {
+	return h.addConn(pe, h.faults.Wrap(fmt.Sprintf("hub%d", pe), conn), br)
+}
+
+func (h *SocketHub) addConn(pe int, conn net.Conn, br *bufio.Reader) error {
 	if pe < 0 || pe >= h.pes {
 		return fmt.Errorf("dist: hub: PE %d out of range [0, %d)", pe, h.pes)
 	}
@@ -319,6 +390,10 @@ func (h *SocketHub) AddConnBuffered(pe int, conn net.Conn, br *bufio.Reader) err
 	defer h.mu.Unlock()
 	if h.conns[pe] != nil {
 		return fmt.Errorf("dist: hub: PE %d already connected", pe)
+	}
+	if h.stopped {
+		conn.Close()
+		return fmt.Errorf("dist: hub: stopped")
 	}
 	h.conns[pe] = &hubConn{
 		conn: conn,
@@ -374,6 +449,18 @@ func (h *SocketHub) Route() error {
 	for step := 0; ; step++ {
 		closed := 0
 		for pe, c := range h.conns {
+			if h.deadline > 0 {
+				if pe == 0 {
+					// Idle wait: between supersteps the hub blocks here for
+					// as long as the coordinator computes, so the first PE's
+					// first byte is awaited without deadline. Once it is
+					// buffered, the superstep is in flight and the rest of
+					// the frame (and every other PE) is bounded.
+					c.conn.SetReadDeadline(time.Time{})
+					c.br.Peek(1) // block for the step's first byte; errors resurface in readFrame
+				}
+				c.conn.SetReadDeadline(time.Now().Add(h.deadline))
+			}
 			err := h.readFrame(c)
 			if err == io.EOF && closed == pe {
 				closed++
@@ -401,6 +488,9 @@ func (h *SocketHub) Route() error {
 			total := 0
 			for _, s := range h.conns {
 				total += len(s.segs[q])
+			}
+			if h.deadline > 0 {
+				c.conn.SetWriteDeadline(time.Now().Add(h.deadline))
 			}
 			c.bw.Write(scratch[:binary.PutUvarint(scratch[:], uint64(total))])
 			for _, s := range h.conns {

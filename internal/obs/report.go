@@ -28,6 +28,7 @@ type Report struct {
 	Result    ResultReport   `json:"result"`
 	Transport []PEReport     `json:"transport,omitempty"`
 	Arena     *ArenaReport   `json:"arena,omitempty"`
+	Faults    *FaultReport   `json:"faults,omitempty"`
 }
 
 // GraphReport records the input graph's shape.
@@ -122,6 +123,12 @@ func (r *Report) ZeroTimes() {
 	}
 	for i := range r.Transport {
 		r.Transport[i].BarrierSeconds = 0
+	}
+	if r.Faults != nil {
+		// Heartbeat counts reflect elapsed wall-clock intervals, not the
+		// run's logical outcome.
+		r.Faults.HeartbeatsSent = 0
+		r.Faults.HeartbeatsRecv = 0
 	}
 	if r.Arena != nil {
 		// Borrows is deterministic (one per borrow call); the rest reflects

@@ -1,0 +1,45 @@
+package remote
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// RetryPolicy governs a worker's connection attempts: how often to retry the
+// dial + handshake, how long each attempt may take, and how to space the
+// attempts. Backoff is exponential with full jitter — attempt i waits a
+// uniform fraction of Backoff·2^(i-1), capped at MaxBackoff — drawn from the
+// repo's deterministic rng stream, so a fixed Seed reproduces the exact
+// retry timeline in tests while distinct workers (distinct seeds) still
+// desynchronize their retries in production, avoiding reconnect stampedes
+// after a coordinator restart.
+type RetryPolicy struct {
+	Attempts   int           // total attempts; <= 1 means a single try
+	Timeout    time.Duration // per-attempt bound on dial + assignment; 0 = none
+	Backoff    time.Duration // base delay before the second attempt
+	MaxBackoff time.Duration // cap on any single delay; 0 = 16×Backoff
+	Seed       uint64        // jitter stream seed
+}
+
+// backoff returns the delay before attempt (2-based: the wait after failed
+// attempt i uses backoff(rng, i)).
+func (p RetryPolicy) backoff(r *rng.RNG, attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 16 * p.Backoff
+	}
+	d := p.Backoff
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Full jitter: uniform in (0, d]. Zero sleeps would make "retried" and
+	// "never waited" indistinguishable in tests.
+	return time.Duration(float64(d)*r.Float64())/2 + d/2
+}

@@ -139,14 +139,20 @@ func DecodePartition(data []byte) (blocks []int32, rest []byte, err error) {
 
 // Assign is the coordinator's reply to a worker's control hello: the
 // worker's PE, the size of the system, the configuration of the distributed
-// matching kernel, and the protocol version (refuse on mismatch).
+// matching kernel, the protocol version (refuse on mismatch), and the
+// fault-tolerance timing contract — the coordinator's heartbeat interval and
+// the worker timeout it enforces, both in milliseconds (zero = disabled).
+// Workers derive their own deadlines from these announcements, so one flag
+// on the coordinator configures the whole system consistently.
 type Assign struct {
-	Version  int
-	PE       int
-	PEs      int
-	Rating   int // rating.Func
-	Matcher  int // matching.Algorithm
-	Boundary bool
+	Version         int
+	PE              int
+	PEs             int
+	Rating          int // rating.Func
+	Matcher         int // matching.Algorithm
+	Boundary        bool
+	HeartbeatMillis int // coordinator → worker heartbeat interval
+	TimeoutMillis   int // deadline the coordinator applies to this worker
 }
 
 // AppendAssign encodes an Assign payload.
@@ -160,7 +166,9 @@ func AppendAssign(dst []byte, a Assign) []byte {
 	if a.Boundary {
 		b = 1
 	}
-	return appendUvarint(dst, b)
+	dst = appendUvarint(dst, b)
+	dst = appendUvarint(dst, uint64(a.HeartbeatMillis))
+	return appendUvarint(dst, uint64(a.TimeoutMillis))
 }
 
 // DecodeAssign decodes an Assign payload.
@@ -178,12 +186,68 @@ func DecodeAssign(data []byte) (Assign, error) {
 		*f = int(v)
 		data = rest
 	}
-	v, _, err := readUvarint(data)
+	v, data, err := readUvarint(data)
 	if err != nil {
 		return Assign{}, fmt.Errorf("wire: assign boundary flag: %w", err)
 	}
 	a.Boundary = v != 0
+	timing := []*int{&a.HeartbeatMillis, &a.TimeoutMillis}
+	for i, f := range timing {
+		v, rest, err := readUvarint(data)
+		if err != nil {
+			return Assign{}, fmt.Errorf("wire: assign timing field %d: %w", i, err)
+		}
+		if v > 1<<31 {
+			return Assign{}, fmt.Errorf("wire: assign timing field %d out of range", i)
+		}
+		*f = int(v)
+		data = rest
+	}
 	return a, nil
+}
+
+// LevelAborted is a worker's non-result answer to one PE's Job: the kernel
+// aborted on a transport failure before producing a contraction.
+type LevelAborted struct {
+	PE    int
+	Level int
+}
+
+// AppendLevelAborted encodes a LevelAborted payload.
+func AppendLevelAborted(dst []byte, la LevelAborted) []byte {
+	dst = appendUvarint(dst, uint64(la.PE))
+	return appendUvarint(dst, uint64(la.Level))
+}
+
+// DecodeLevelAborted decodes a LevelAborted payload.
+func DecodeLevelAborted(data []byte) (LevelAborted, error) {
+	pe, data, err := readUvarint(data)
+	if err != nil {
+		return LevelAborted{}, fmt.Errorf("wire: level-aborted PE: %w", err)
+	}
+	level, _, err := readUvarint(data)
+	if err != nil {
+		return LevelAborted{}, fmt.Errorf("wire: level-aborted level: %w", err)
+	}
+	if pe > 1<<31 || level > 1<<31 {
+		return LevelAborted{}, fmt.Errorf("wire: level-aborted fields out of range")
+	}
+	return LevelAborted{PE: int(pe), Level: int(level)}, nil
+}
+
+// AppendReassign encodes a Reassign payload: the complete PE set the
+// receiving worker hosts from now on.
+func AppendReassign(dst []byte, pes []int32) []byte {
+	return appendInt32s(dst, pes)
+}
+
+// DecodeReassign decodes a Reassign payload.
+func DecodeReassign(data []byte) ([]int32, error) {
+	pes, _, err := readInt32s(data)
+	if err != nil {
+		return nil, fmt.Errorf("wire: reassign PE set: %w", err)
+	}
+	return pes, nil
 }
 
 // Job is one contraction-level work order: the level's derived seed, the

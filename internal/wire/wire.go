@@ -25,7 +25,9 @@ import (
 
 // Version is the wire-protocol version, negotiated in the control
 // handshake. Bump it whenever any frame or payload encoding changes.
-const Version = 1
+// Version 2 added the fault-tolerance frames (heartbeat, level-aborted,
+// reassign) and the heartbeat/timeout announcement in Assign.
+const Version = 2
 
 // Control-frame kinds (see WriteFrame/ReadFrame).
 const (
@@ -41,6 +43,24 @@ const (
 	// KindDone ends a session; its payload is the final partition vector
 	// (possibly empty when the run failed).
 	KindDone byte = 4
+	// KindHeartbeat is an empty liveness frame, flowing both ways on the
+	// control connection: the coordinator's heartbeats keep workers from
+	// timing out during long coordinator-local phases (initial partitioning,
+	// refinement), the workers' heartbeats refresh the coordinator's
+	// per-worker read deadline. Receivers skip it wherever a frame is read.
+	KindHeartbeat byte = 5
+	// KindLevelAborted is a worker's non-result answer to a Job: the PE's
+	// kernel died on a transport failure (typically because some OTHER
+	// worker crashed and collapsed the superstep barrier). Sending an
+	// explicit frame instead of closing the connection keeps the control
+	// stream frame-aligned, so the coordinator can reuse it for the retry
+	// (AppendLevelAborted).
+	KindLevelAborted byte = 6
+	// KindReassign tells a live worker the full set of PEs it now hosts —
+	// the orphaned shards of a dead worker moved onto it. The worker
+	// re-dials one transport connection per hosted PE before the level is
+	// retried (AppendReassign).
+	KindReassign byte = 7
 )
 
 // maxFrame bounds a control frame's payload; a peer announcing more is

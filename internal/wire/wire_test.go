@@ -137,7 +137,8 @@ func TestPartitionRoundTrip(t *testing.T) {
 }
 
 func TestAssignJobResultRoundTrip(t *testing.T) {
-	a := Assign{Version: Version, PE: 1, PEs: 4, Rating: 3, Matcher: 1, Boundary: true}
+	a := Assign{Version: Version, PE: 1, PEs: 4, Rating: 3, Matcher: 1, Boundary: true,
+		HeartbeatMillis: 250, TimeoutMillis: 5000}
 	gota, err := DecodeAssign(AppendAssign(nil, a))
 	if err != nil {
 		t.Fatal(err)
@@ -178,6 +179,32 @@ func TestAssignJobResultRoundTrip(t *testing.T) {
 	}
 	if gote.Part != nil {
 		t.Fatal("nil part became non-nil")
+	}
+}
+
+func TestFaultFramesRoundTrip(t *testing.T) {
+	la := LevelAborted{PE: 3, Level: 7}
+	gotla, err := DecodeLevelAborted(AppendLevelAborted(nil, la))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotla != la {
+		t.Fatalf("level-aborted changed: %+v -> %+v", la, gotla)
+	}
+	if _, err := DecodeLevelAborted(nil); err == nil {
+		t.Fatal("accepted empty level-aborted")
+	}
+
+	pes := []int32{0, 2, 5}
+	gotpes, err := DecodeReassign(AppendReassign(nil, pes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pes, gotpes) {
+		t.Fatalf("reassign changed: %v -> %v", pes, gotpes)
+	}
+	if _, err := DecodeReassign([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}); err == nil {
+		t.Fatal("accepted huge reassign count")
 	}
 }
 

@@ -138,7 +138,7 @@ func runWorker(args []string) {
 			"base delay between connection attempts (exponential with jitter, capped at 16x)")
 		dialTO = fs.Duration("dial-timeout", 0, "bound on each individual connection attempt; 0 = none")
 		hbeat  = fs.Duration("heartbeat", 0,
-			"interval of worker heartbeats that keep the coordinator's deadline refreshed; 0 = none")
+			"interval of worker heartbeats that keep the coordinator's deadline refreshed; 0 = a quarter of the announced worker timeout")
 		faultsFl = fs.String("faults", "",
 			"fault-injection schedule for chaos testing, e.g. 'ctrl:read:3:kill;pe0:write:2:delay:50ms'")
 	)

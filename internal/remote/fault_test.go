@@ -7,6 +7,7 @@
 package remote_test
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"net"
@@ -434,6 +435,70 @@ func TestServeHeartbeats(t *testing.T) {
 		if o.err != nil {
 			t.Errorf("worker %d: %v", i, o.err)
 		}
+	}
+}
+
+// TestWorkerDerivedHeartbeat: a worker given no explicit heartbeat interval
+// derives one (a quarter of the announced worker timeout) from the
+// assignment, so `kappa serve -worker-timeout` alone keeps slow-but-healthy
+// workers from being falsely declared dead. A fake coordinator announces a
+// 200ms timeout and waits for the beats that only the derivation can send.
+func TestWorkerDerivedHeartbeat(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	beats := make(chan int, 1)
+	go func() {
+		ctrl, err := ln.Accept()
+		if err != nil {
+			beats <- -1
+			return
+		}
+		defer ctrl.Close()
+		br := bufio.NewReaderSize(ctrl, 1<<16)
+		if _, err := dist.ReadHello(br); err != nil {
+			beats <- -1
+			return
+		}
+		a := wire.Assign{Version: wire.Version, PE: 0, PEs: 1, TimeoutMillis: 200}
+		if err := wire.WriteFrame(ctrl, wire.KindAssign, wire.AppendAssign(nil, a)); err != nil {
+			beats <- -1
+			return
+		}
+		// The worker dials one transport connection next; accept and hold it.
+		tr, err := ln.Accept()
+		if err != nil {
+			beats <- -1
+			return
+		}
+		defer tr.Close()
+		// Count two heartbeats (due at 50ms and 100ms), then end the session.
+		ctrl.SetReadDeadline(time.Now().Add(10 * time.Second))
+		n := 0
+		for n < 2 {
+			kind, _, err := wire.ReadFrame(br)
+			if err != nil {
+				beats <- n
+				return
+			}
+			if kind == wire.KindHeartbeat {
+				n++
+			}
+		}
+		wire.WriteFrame(ctrl, wire.KindDone, nil)
+		beats <- n
+	}()
+
+	if _, err := remote.WorkWith(ctx, "tcp", ln.Addr().String(), remote.WorkOptions{}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if n := <-beats; n < 2 {
+		t.Fatalf("coordinator saw %d heartbeats, want >= 2 derived from the announced timeout", n)
 	}
 }
 

@@ -437,10 +437,15 @@ func (co *coordinator) remoteLevel(cur *graph.Graph, cfg *core.Config, blocks []
 		go func(w *workerConn) {
 			// Ship this worker's jobs, then read one outcome per hosted PE.
 			// Results and aborts arrive in kernel-completion order, each
-			// frame self-identifying its PE.
+			// frame self-identifying its PE. Every hosted PE is pending from
+			// the start: a job write that fails mid-batch must still emit an
+			// outcome for the PEs whose jobs were never sent, or the
+			// collector's outcome count comes up short and the level hangs.
 			pending := make(map[int]bool, len(w.hosted))
 			for _, pe := range w.hosted {
 				pending[pe] = true
+			}
+			for _, pe := range w.hosted {
 				job := wire.Job{
 					Level:   level,
 					Seed:    cfg.Seed + uint64(level)*101,

@@ -8,12 +8,12 @@ import (
 
 // RetryPolicy governs a worker's connection attempts: how often to retry the
 // dial + handshake, how long each attempt may take, and how to space the
-// attempts. Backoff is exponential with full jitter — attempt i waits a
-// uniform fraction of Backoff·2^(i-1), capped at MaxBackoff — drawn from the
-// repo's deterministic rng stream, so a fixed Seed reproduces the exact
-// retry timeline in tests while distinct workers (distinct seeds) still
-// desynchronize their retries in production, avoiding reconnect stampedes
-// after a coordinator restart.
+// attempts. Backoff is exponential with equal jitter — with d =
+// Backoff·2^(i-1) capped at MaxBackoff, attempt i waits uniformly in
+// [d/2, d) — drawn from the repo's deterministic rng stream, so a fixed
+// Seed reproduces the exact retry timeline in tests while distinct workers
+// (distinct seeds) still desynchronize their retries in production,
+// avoiding reconnect stampedes after a coordinator restart.
 type RetryPolicy struct {
 	Attempts   int           // total attempts; <= 1 means a single try
 	Timeout    time.Duration // per-attempt bound on dial + assignment; 0 = none
@@ -39,7 +39,8 @@ func (p RetryPolicy) backoff(r *rng.RNG, attempt int) time.Duration {
 	if d > max {
 		d = max
 	}
-	// Full jitter: uniform in (0, d]. Zero sleeps would make "retried" and
-	// "never waited" indistinguishable in tests.
+	// Equal jitter: d/2 plus a uniform half, i.e. uniform in [d/2, d).
+	// The floor keeps sleeps non-zero, so "retried" and "never waited"
+	// stay distinguishable in tests.
 	return time.Duration(float64(d)*r.Float64())/2 + d/2
 }

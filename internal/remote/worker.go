@@ -34,7 +34,9 @@ type WorkOptions struct {
 	Retry RetryPolicy
 	// Heartbeat is the interval of worker → coordinator heartbeats; they
 	// refresh the coordinator's read deadline for this worker, so a slow
-	// kernel is distinguishable from a dead process.
+	// kernel is distinguishable from a dead process. Zero defaults to a
+	// quarter of the worker timeout the coordinator announces in the
+	// assignment (no heartbeats when that is zero too).
 	Heartbeat time.Duration
 	// Faults injects scheduled connection faults: the control connection is
 	// labeled "ctrl", transport connections "pe<N>". Nil injects nothing.
@@ -127,7 +129,14 @@ func WorkWith(ctx context.Context, network, addr string, wo WorkOptions) (WorkRe
 	}
 
 	// Worker → coordinator heartbeats: they refresh the coordinator's read
-	// deadline for this worker while the kernels compute.
+	// deadline for this worker while the kernels compute. When no explicit
+	// interval is configured but the coordinator announced a worker timeout,
+	// default to a quarter of it — otherwise any kernel outlasting the
+	// timeout would get this worker falsely declared dead, and the Assign
+	// contract says one coordinator flag configures the system consistently.
+	if wo.Heartbeat <= 0 && assign.TimeoutMillis > 0 {
+		wo.Heartbeat = time.Duration(assign.TimeoutMillis) * time.Millisecond / 4
+	}
 	if wo.Heartbeat > 0 {
 		hbStop := make(chan struct{})
 		defer close(hbStop)

@@ -191,8 +191,15 @@ func DecodeAssign(data []byte) (Assign, error) {
 		return Assign{}, fmt.Errorf("wire: assign boundary flag: %w", err)
 	}
 	a.Boundary = v != 0
+	// The timing fields were added in version 2. A payload that ends after
+	// the boundary flag is a version-1 assignment: decode it with zero
+	// timing so the caller's version check can report the mismatch cleanly
+	// instead of this decoder failing on the absent fields.
 	timing := []*int{&a.HeartbeatMillis, &a.TimeoutMillis}
 	for i, f := range timing {
+		if len(data) == 0 && i == 0 {
+			return a, nil
+		}
 		v, rest, err := readUvarint(data)
 		if err != nil {
 			return Assign{}, fmt.Errorf("wire: assign timing field %d: %w", i, err)

@@ -245,3 +245,28 @@ func TestDecodeErrors(t *testing.T) {
 		t.Fatal("accepted truncated result")
 	}
 }
+
+// TestDecodeAssignV1 pins cross-version decoding: a version-1 assignment
+// ends after the boundary flag (the timing fields arrived in v2), and must
+// decode cleanly with zero timing so the worker's version check — not a
+// confusing decoder error — reports the mismatch. A payload truncated
+// between the two timing fields is still corrupt.
+func TestDecodeAssignV1(t *testing.T) {
+	var v1 []byte
+	for _, v := range []uint64{1, 0, 2, 0, 0, 1} { // version, PE, PEs, rating, matcher, boundary
+		v1 = appendUvarint(v1, v)
+	}
+	a, err := DecodeAssign(v1)
+	if err != nil {
+		t.Fatalf("v1 assignment failed to decode: %v", err)
+	}
+	if a.Version != 1 || a.PEs != 2 || !a.Boundary {
+		t.Fatalf("v1 fields did not survive: %+v", a)
+	}
+	if a.HeartbeatMillis != 0 || a.TimeoutMillis != 0 {
+		t.Fatalf("absent timing fields decoded non-zero: %+v", a)
+	}
+	if _, err := DecodeAssign(appendUvarint(v1, 20)); err == nil {
+		t.Fatal("accepted an assignment truncated between the timing fields")
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test check docs fmt bench bench-smoke bench-json examples race fuzz
+.PHONY: all vet build test lint check docs fmt bench bench-smoke bench-json examples race fuzz
 
 all: check
 
@@ -13,8 +13,15 @@ build:
 test:
 	$(GO) test ./...
 
+# lint runs kappavet, the project-invariant static-analysis suite
+# (determinism, hot-path allocations, error contracts, wire hygiene); see
+# ARCHITECTURE.md "Static guarantees". Whole-module scope is required:
+# wiresync audits encode/decode paths across packages.
+lint:
+	$(GO) run ./cmd/kappavet ./...
+
 # check is the tier-1 gate enforced by CI.
-check: vet build test
+check: vet build test lint
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -36,9 +43,9 @@ bench-smoke:
 # Partition per family, plus the observed variant quantifying metric-stack
 # overhead) with -benchmem semantics and writes the perf trajectory
 # artifact, pairing each number with the recorded PR4 numbers. Commit the
-# refreshed BENCH_PR6.json alongside perf changes.
+# refreshed BENCH_PR8.json alongside perf changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -out BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -out BENCH_PR8.json
 
 # examples builds and runs every examples/* program end to end (CI runs
 # this too, so the example code can never rot).

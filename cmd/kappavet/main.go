@@ -1,0 +1,88 @@
+// Command kappavet runs the repository's project-invariant static-analysis
+// suite (internal/lint) over the given packages:
+//
+//	go run ./cmd/kappavet ./...
+//
+// Analyzers: mapiter (no order-sensitive work inside map iteration),
+// nondet (no ambient entropy in kernel packages), hotalloc (no allocation
+// in //kappa:hotpath functions), panicfree (library packages return
+// errors), wiresync (wire frame kinds handled on both encode and decode
+// paths, version-gated fields guarded) — plus directive validation for the
+// //kappa:allow suppression machinery itself.
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on a usage
+// or load error. Run it over ./... — wiresync's frame audit is
+// whole-program and a single-package invocation cannot see the decode
+// switches in internal/remote.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kappavet [-json] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the project-invariant analyzers over the packages (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		fmt.Printf("%-10s %s\n", "directive", "kappa:allow with an unknown analyzer, a missing reason, or suppressing nothing")
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kappavet:", err)
+		os.Exit(2)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, cwd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kappavet:", err)
+		os.Exit(2)
+	}
+	findings := lint.NewSuite(fset).Run(pkgs)
+
+	// Report positions relative to the working directory: stable output for
+	// CI logs and golden comparisons.
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
+		}
+	}
+
+	if *jsonOut {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "kappavet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "kappavet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

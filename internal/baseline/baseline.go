@@ -81,6 +81,7 @@ func Run(g *graph.Graph, k int, eps float64, tool Tool, seed uint64) Result {
 	case ParMetisLike:
 		blocks = parmetis(g, k, eps, seed)
 	default:
+		//kappa:allow panicfree the Tool enum is validated where flags are parsed
 		panic("baseline: unknown tool")
 	}
 	p := part.FromBlocks(g, k, eps, blocks)

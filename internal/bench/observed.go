@@ -36,6 +36,7 @@ func RunKaPPaObserved(g *graph.Graph, cfg core.Config, reps int, reg *obs.Regist
 			core.WithTransportStats(stats),
 			core.WithArena(arena))
 		if err != nil {
+			//kappa:allow panicfree the bench harness only builds valid configurations; an error is a harness bug
 			panic("bench: " + err.Error())
 		}
 		obs.RecordResult(reg, res)

@@ -51,12 +51,15 @@ func Contract(g *graph.Graph, m matching.Matching) (*graph.Graph, []int32) {
 
 // ContractWith is Contract with explicit worker count and scratch arena; see
 // Options.
+//
+//kappa:hotpath
 func ContractWith(g *graph.Graph, m matching.Matching, opt Options) (*graph.Graph, []int32) {
 	n := g.NumNodes()
 	a := opt.Arena
 
 	// The mapping persists in the Hierarchy, so it is always a fresh
 	// allocation; only true temporaries come from the arena.
+	//kappa:allow hotalloc the fine→coarse mapping persists in the Hierarchy
 	fine2coarse := make([]int32, n)
 	nc := int32(0)
 	for v := int32(0); v < int32(n); v++ {
@@ -73,6 +76,7 @@ func ContractWith(g *graph.Graph, m matching.Matching, opt Options) (*graph.Grap
 	}
 
 	// Coarse node weights (persist with the coarse graph).
+	//kappa:allow hotalloc node weights persist with the coarse graph
 	nwgt := make([]int64, nc)
 	for v := int32(0); v < int32(n); v++ {
 		nwgt[fine2coarse[v]] += g.NodeWeight(v)
@@ -113,6 +117,7 @@ func ContractWith(g *graph.Graph, m matching.Matching, opt Options) (*graph.Grap
 	// range serialize the level on social graphs).
 	bounds := coarseRanges(g, memberHead, memberNext, nc, workers)
 
+	//kappa:allow hotalloc the row index persists as the coarse graph's CSR
 	xadj := make([]int32, nc+1) // persists
 
 	// ---- Pass 1: count distinct coarse neighbors per coarse node ----
@@ -171,8 +176,11 @@ func ContractWith(g *graph.Graph, m matching.Matching, opt Options) (*graph.Grap
 
 	// Exactly-sized coarse CSR (persists) plus the weighted degrees the fill
 	// pass computes for free while merging edge weights.
+	//kappa:allow hotalloc exactly-sized CSR arrays persist as the coarse graph
 	adj := make([]int32, xadj[nc])
+	//kappa:allow hotalloc exactly-sized CSR arrays persist as the coarse graph
 	ewgt := make([]int64, xadj[nc])
+	//kappa:allow hotalloc the weighted-degree cache persists with the coarse graph
 	wdeg := make([]int64, nc)
 
 	// ---- Pass 2: fill each coarse node's segment in first-encounter order ----
@@ -326,6 +334,9 @@ func (h *Hierarchy) Project(li int, coarsePart []int32) []int32 {
 // ProjectInto is Project writing into a caller-provided slice of length
 // Levels[li].Fine.NumNodes() — the allocation-free variant the refinement
 // phase uses with ping-ponged arena buffers.
+//
+//kappa:invariant the pipeline sizes the ping-pong buffers from the hierarchy itself
+//kappa:hotpath
 func (h *Hierarchy) ProjectInto(li int, coarsePart, fine []int32) {
 	lv := h.Levels[li]
 	if len(fine) != lv.Fine.NumNodes() {

@@ -26,6 +26,7 @@ import (
 func RefineExisting(g *graph.Graph, cfg Config, blocks []int32) ([]int32, int64) {
 	refined, cut, err := RefineExistingCtx(context.Background(), g, cfg, blocks)
 	if err != nil {
+		//kappa:allow panicfree documented legacy wrapper contract: panic on invalid config, use RefineExistingCtx for errors
 		panic(err)
 	}
 	return refined, cut

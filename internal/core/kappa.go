@@ -37,6 +37,7 @@ type Result struct {
 func Partition(g *graph.Graph, cfg Config) Result {
 	res, err := Run(context.Background(), g, cfg)
 	if err != nil {
+		//kappa:allow panicfree documented legacy wrapper contract: panic on invalid config, use Run for errors
 		panic(err)
 	}
 	return res

@@ -24,6 +24,8 @@ func RCBWeighted(x, y []float64, w []int64, pes int) []int32 {
 // deterministic: ties in coordinates are broken by node id. With two
 // dimensions this is exactly the classic 2D RCB; 3D instances (e.g. Grid3D)
 // get real geometric bisection instead of an index-range fallback.
+//
+//kappa:invariant the distributor only selects RCB for graphs that carry coordinates
 func RCBWeightedDims(dims [][]float64, w []int64, pes int) []int32 {
 	if len(dims) == 0 {
 		panic("dist: RCBWeightedDims needs at least one coordinate dimension")

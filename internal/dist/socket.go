@@ -103,7 +103,10 @@ type BatchCodec interface {
 // SocketError wraps the I/O failures of a SocketTransport. The Transport
 // interface has no error returns (its in-process implementations cannot
 // fail), so Exchange panics with a *SocketError when the connection dies;
-// process entry points recover it at the superstep-sequence boundary.
+// process entry points recover it at the superstep-sequence boundary
+// (remote.Work's kernel goroutine), converting it back into an error.
+//
+//kappa:invariant recovered at the kernel-goroutine boundary by contract
 type SocketError struct{ Err error }
 
 func (e *SocketError) Error() string { return "dist: socket transport: " + e.Err.Error() }

@@ -29,10 +29,14 @@ func New(n int) *DSU {
 // NewIn builds a DSU of singleton sets over caller-provided backing slices
 // (both of length n), overwriting their contents — the allocation-free
 // variant used by the GPA matcher's per-level scratch.
+//
+//kappa:hotpath
+//kappa:invariant the arena hands out equal-length slices by construction
 func NewIn(parent, size []int32) *DSU {
 	if len(parent) != len(size) {
 		panic("dsu: NewIn slices must have equal length")
 	}
+	//kappa:allow hotalloc one fixed-size header; the backing arrays are caller-provided
 	d := &DSU{parent: parent, size: size, sets: len(parent)}
 	for i := range parent {
 		parent[i] = int32(i)

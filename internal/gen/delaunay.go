@@ -163,7 +163,11 @@ func (d *triangulator) inCircum(t *tri, p int32) bool {
 	return det > 0
 }
 
-// locate walks from the hint triangle to a triangle containing p.
+// locate walks from the hint triangle to a triangle containing p. The
+// super-triangle encloses every input point, so failing to locate one is a
+// triangulation-invariant violation, not an input error.
+//
+//kappa:invariant the super-triangle guarantees every point is locatable
 func (d *triangulator) locate(p int32) int32 {
 	t := d.last
 	if !d.tris[t].alive {

@@ -10,6 +10,8 @@ import (
 // with probability proportional to their degree. This reproduces the heavy
 // power-law degree tail of the paper's coAuthorsDBLP/citationCiteseer social
 // instances, which stress partitioners very differently from meshes.
+//
+//kappa:invariant generator parameters are fixed by the scenario catalog, not user input
 func PrefAttach(n, d int, seed uint64) *graph.Graph {
 	if d < 1 {
 		panic("gen: PrefAttach needs d >= 1")

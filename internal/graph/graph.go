@@ -133,6 +133,8 @@ func (g *Graph) WeightedDegrees() []int64 {
 // goroutines; contraction uses it to emit the coarse Out(v) values it
 // already computed while summing coarse edge weights. w[v] must equal
 // WeightedDegree(v) for every node.
+//
+//kappa:invariant construction-time length check; callers size the slice from the same graph
 func (g *Graph) SetWeightedDegrees(w []int64) {
 	if len(w) != g.NumNodes() {
 		panic("graph: weighted-degree slice must have length n")
@@ -146,6 +148,8 @@ func (g *Graph) SetWeightedDegrees(w []int64) {
 // scan, which is fine where degrees are small (e.g. quotient graphs) but
 // quadratic in degree when called for every neighbor of a high-degree coarse
 // node — hot paths on contracted graphs should use scatter arrays instead.
+//
+//kappa:hotpath
 func (g *Graph) EdgeWeightTo(v, u int32) int64 {
 	adj := g.Adj(v)
 	if g.adjSorted && len(adj) > 8 {
@@ -207,6 +211,8 @@ func (g *Graph) Coord3(v int32) (float64, float64, float64) {
 // SetCoords attaches 2D coordinates; both slices must have length n. The
 // graph keeps references to the slices. Any previous third dimension is
 // dropped.
+//
+//kappa:invariant construction-time length check; callers size the slices from the same graph
 func (g *Graph) SetCoords(x, y []float64) {
 	if len(x) != g.NumNodes() || len(y) != g.NumNodes() {
 		panic("graph: coordinate slices must have length n")
@@ -216,6 +222,8 @@ func (g *Graph) SetCoords(x, y []float64) {
 
 // SetCoords3 attaches 3D coordinates; all three slices must have length n.
 // The graph keeps references to the slices.
+//
+//kappa:invariant construction-time length check; callers size the slices from the same graph
 func (g *Graph) SetCoords3(x, y, z []float64) {
 	if len(x) != g.NumNodes() || len(y) != g.NumNodes() || len(z) != g.NumNodes() {
 		panic("graph: coordinate slices must have length n")
@@ -312,8 +320,11 @@ func FromCSR(xadj []int32, adj []int32, ewgt []int64, nwgt []int64) (*Graph, err
 // per level for invariants contraction guarantees by construction.
 // adjSorted is conservatively false (contracted adjacency keeps
 // first-encounter order); totalEdgeWeight counts each undirected edge once.
+//
+//kappa:hotpath
 func FromCSRUnchecked(xadj []int32, adj []int32, ewgt []int64, nwgt []int64,
 	totalNodeWeight, totalEdgeWeight, maxNodeWeight int64) *Graph {
+	//kappa:allow hotalloc one header per level; the CSR arrays are adopted, not copied
 	return &Graph{
 		xadj: xadj, adj: adj, ewgt: ewgt, nwgt: nwgt,
 		totalNodeWeight: totalNodeWeight,
@@ -399,6 +410,8 @@ func (b *Builder) SetCoord3(v int32, x, y, z float64) {
 
 // AddEdge records the undirected edge {u, v} with weight w. Self loops are
 // ignored. Adding {u,v} twice (in any orientation) merges the weights.
+//
+//kappa:invariant callers validate ids and weights at the I/O boundary (graphio)
 func (b *Builder) AddEdge(u, v int32, w int64) {
 	if u == v {
 		return
@@ -467,6 +480,7 @@ func (b *Builder) Build() *Graph {
 	}
 	g, err := FromCSR(newX, outAdj[:len(outAdj):len(outAdj)], outW[:len(outW):len(outW)], b.nwgt)
 	if err != nil {
+		//kappa:allow panicfree the builder constructs the CSR it validates; a failure is a Build bug
 		panic("graph: builder produced invalid CSR: " + err.Error())
 	}
 	if b.coord {

@@ -37,6 +37,8 @@ func (o *Overlay) NumMigrated() int { return len(o.nodes) }
 // AddNode registers a migrated node with the given global id and weight. Ids
 // must not collide with the base graph's [0, n) range. Re-adding an id
 // replaces its copy (a fresh boundary exchange supersedes the previous one).
+//
+//kappa:invariant id-range collisions are an exchange-protocol bug, not an input error
 func (o *Overlay) AddNode(id int32, weight int64) {
 	if id >= 0 && int(id) < o.base.NumNodes() {
 		panic("graph: overlay node id collides with base graph")
@@ -58,6 +60,8 @@ func (o *Overlay) HasNode(id int32) bool {
 // migrated node into the base graph are one-sided by design (the base array
 // is immutable), and Neighbors on base nodes therefore only reports static
 // edges.
+//
+//kappa:invariant edges reference nodes the same exchange already registered
 func (o *Overlay) AddEdge(id, target int32, w int64) {
 	n, ok := o.nodes[id]
 	if !ok {

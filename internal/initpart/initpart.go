@@ -70,6 +70,7 @@ func (e Engine) params() engineParams {
 // of §2 whenever the rebalancing fallback succeeds (always, in practice).
 func Partition(g *graph.Graph, k int, eps float64, engine Engine, seed uint64) []int32 {
 	if k < 1 {
+		//kappa:allow panicfree k is validated by Config.Validate before the pipeline runs
 		panic("initpart: k must be >= 1")
 	}
 	r := rng.New(seed)

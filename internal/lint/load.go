@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package of the module
+// under analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Incomplete bool
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// Load lists the packages matching patterns (relative to dir, the module
+// root), parses their non-test sources, and type-checks them against real
+// dependency type information. It is deliberately stdlib-only: packages are
+// enumerated with `go list -export -deps -json`, module packages are checked
+// from source with go/parser + go/types, and dependencies (the standard
+// library) are imported from the compiler export data the go command
+// produces — the same stance as the rest of the repo, no external modules.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w (%s)", err, strings.TrimSpace(stderr.String()))
+	}
+
+	// Export data for every dependency; `-deps` lists dependencies before
+	// their importers, so by the time a module package is type-checked every
+	// import resolves either to an already-checked module package or to an
+	// export file.
+	exports := make(map[string]string)
+	checked := make(map[string]*types.Package)
+	imp := &chainImporter{
+		checked: checked,
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok || file == "" {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+	}
+	conf := types.Config{Importer: imp}
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Standard || lp.DepOnly {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+		}
+		checked[lp.ImportPath] = tpkg
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// chainImporter resolves module-internal imports to their source-checked
+// packages and everything else (the standard library) through compiler
+// export data.
+type chainImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.checked[path]; ok {
+		return p, nil
+	}
+	return c.gc.Import(path)
+}

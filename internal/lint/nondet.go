@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nondet forbids ambient entropy — wall clocks, the global math/rand
+// source, process identity — inside the deterministic kernel packages.
+//
+// The multilevel kernels (matching, coarsening, refinement, initial
+// partitioning, and their support packages) must be pure functions of
+// (graph, config, seed): that is what makes a distributed run byte-identical
+// to an in-process one and a retried level byte-identical to its first
+// attempt. All randomness flows through the seeded internal/rng streams and
+// all timing belongs to the pipeline/observability layers (core, dist,
+// remote, obs, baseline), which are deliberately outside this analyzer's
+// scope.
+type nondet struct{}
+
+func newNondet() *nondet { return &nondet{} }
+
+func (*nondet) Name() string { return "nondet" }
+func (*nondet) Doc() string {
+	return "ambient entropy (time.Now, global math/rand, os.Getpid, ...) in a kernel package"
+}
+func (*nondet) Finish(func(Finding)) {}
+
+// kernelPackages are the deterministic kernels: every package whose output
+// feeds the partition must derive all variability from the run's seed.
+var kernelPackages = map[string]bool{
+	"matching": true,
+	"coarsen":  true,
+	"refine":   true,
+	"initpart": true,
+	"rating":   true,
+	"part":     true,
+	"dsu":      true,
+	"pq":       true,
+	"rng":      true,
+	"gen":      true,
+}
+
+// entropySources maps import path → forbidden package-level functions
+// (nil = every function of the package is forbidden).
+var entropySources = map[string]map[string]bool{
+	"time":          {"Now": true, "Since": true, "Until": true},
+	"math/rand":     nil,
+	"math/rand/v2":  nil,
+	"crypto/rand":   nil,
+	"os":            {"Getpid": true, "Getppid": true, "Getenv": true, "Environ": true, "Hostname": true, "Getuid": true},
+	"runtime":       {"NumGoroutine": true},
+	"runtime/debug": {"ReadGCStats": true},
+}
+
+func (nd *nondet) Package(p *Pass) {
+	if !kernelPackages[p.Pkg.Types.Name()] {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[base].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			funcs, bad := entropySources[path]
+			if !bad {
+				return true
+			}
+			if funcs != nil && !funcs[sel.Sel.Name] {
+				return true
+			}
+			p.Report(sel, "%s.%s in kernel package %q: kernels must derive all variability from the run seed",
+				path, sel.Sel.Name, p.Pkg.Types.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// panicfree enforces the PR 3 error contract: library packages return
+// errors, they do not panic. A panic that escapes a package boundary turns
+// a bad input into a crashed worker process — exactly what the
+// fault-tolerance layer must then treat as a dead PE.
+//
+// Three shapes are accepted without a line directive:
+//
+//   - a panic inside a function that itself installs a deferred recover
+//     (the panic is a local control-flow trick that cannot escape the
+//     function),
+//   - a panic whose argument is a type marked //kappa:invariant — the
+//     *dist.SocketError pattern: a sentinel panic type that a goroutine
+//     boundary in the same package is contractually obliged to recover and
+//     convert to an error, and
+//   - a panic inside a function marked //kappa:invariant — an
+//     internal-invariant helper whose reachable-only-by-repo-bug panics are
+//     a deliberate loud failure, not an input-dependent one.
+//
+// Everything else needs //kappa:allow panicfree <reason>, which keeps each
+// remaining panic's justification in the source next to it. Command
+// packages (package main) are exempt: a CLI's top level may crash.
+type panicfree struct{}
+
+func newPanicfree() *panicfree { return &panicfree{} }
+
+func (*panicfree) Name() string { return "panicfree" }
+func (*panicfree) Doc() string {
+	return "panic in a library package outside recover-wrapped or marked-invariant functions"
+}
+func (*panicfree) Finish(func(Finding)) {}
+
+func (pf *panicfree) Package(p *Pass) {
+	if p.Pkg.Types.Name() == "main" {
+		return
+	}
+	sentinels := pf.sentinelTypes(p)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := p.Dirs.markedWith(p.suite.fset, fd.Doc, verbInvariant); ok {
+				continue
+			}
+			if hasDeferredRecover(fd.Body, p) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if calleeBuiltin(p.Pkg.Info, call) == "panic" && !pf.throwsSentinel(p, call, sentinels) {
+					p.Report(call, "panic in library package %q: return an error (or mark the helper //kappa:invariant)",
+						p.Pkg.Types.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// sentinelTypes collects the package's types marked //kappa:invariant:
+// panic payload types that a recover boundary in the package converts to
+// errors.
+func (pf *panicfree) sentinelTypes(p *Pass) map[types.Object]bool {
+	sentinels := make(map[types.Object]bool)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, marked := p.Dirs.markedWith(p.suite.fset, gd.Doc, verbInvariant)
+				if !marked {
+					_, marked = p.Dirs.markedWith(p.suite.fset, ts.Doc, verbInvariant)
+				}
+				if marked {
+					if obj := p.Pkg.Info.Defs[ts.Name]; obj != nil {
+						sentinels[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return sentinels
+}
+
+// throwsSentinel reports whether the panic's argument is (a pointer to) a
+// marked sentinel type.
+func (pf *panicfree) throwsSentinel(p *Pass, call *ast.CallExpr, sentinels map[types.Object]bool) bool {
+	if len(sentinels) == 0 || len(call.Args) != 1 {
+		return false
+	}
+	t := p.Pkg.Info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return sentinels[named.Obj()]
+	}
+	return false
+}
+
+// hasDeferredRecover reports whether the function body installs a deferred
+// recover, making its panics function-local.
+func hasDeferredRecover(body *ast.BlockStmt, p *Pass) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		ast.Inspect(d.Call, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok && calleeBuiltin(p.Pkg.Info, c) == "recover" {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}

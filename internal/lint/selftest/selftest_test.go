@@ -1,0 +1,148 @@
+// Package selftest proves each kappavet analyzer against fixture packages
+// under testdata/src: every `// want <analyzer>` comment must produce
+// exactly one finding of that analyzer on its line (`// want-next` expects
+// it on the following line, for findings anchored to directive comments),
+// and no finding may appear without a want. TestKappavetClean then runs the
+// whole suite over the real repository and requires silence, making repo
+// cleanliness part of tier-1 `go test ./...`.
+package selftest
+
+import (
+	"bufio"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+const fixtureRoot = "testdata/src"
+
+// loadFixtures runs the suite over every fixture package and returns its
+// findings keyed by "<path relative to selftest dir>:<line>".
+func loadFixtures(t *testing.T) map[string][]string {
+	t.Helper()
+	entries, err := os.ReadDir(fixtureRoot)
+	if err != nil {
+		t.Fatalf("reading fixture root: %v", err)
+	}
+	var patterns []string
+	for _, e := range entries {
+		if e.IsDir() {
+			patterns = append(patterns, "./"+filepath.ToSlash(filepath.Join(fixtureRoot, e.Name())))
+		}
+	}
+	if len(patterns) == 0 {
+		t.Fatal("no fixture packages found")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, ".", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := make(map[string][]string)
+	for _, f := range lint.NewSuite(fset).Run(pkgs) {
+		rel, err := filepath.Rel(cwd, f.Pos.Filename)
+		if err != nil {
+			rel = f.Pos.Filename
+		}
+		key := filepath.ToSlash(rel) + ":" + strconv.Itoa(f.Pos.Line)
+		actual[key] = append(actual[key], f.Analyzer)
+	}
+	return actual
+}
+
+// wantComments scans the fixture sources for expectation comments.
+func wantComments(t *testing.T) map[string][]string {
+	t.Helper()
+	expected := make(map[string][]string)
+	err := filepath.WalkDir(fixtureRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			target := line
+			marker := "// want "
+			if i := strings.Index(text, "// want-next "); i >= 0 {
+				marker, target = "// want-next ", line+1
+			} else if strings.Index(text, marker) < 0 {
+				continue
+			}
+			rest := text[strings.Index(text, marker)+len(marker):]
+			key := filepath.ToSlash(path) + ":" + strconv.Itoa(target)
+			expected[key] = append(expected[key], strings.Fields(rest)...)
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("scanning want comments: %v", err)
+	}
+	return expected
+}
+
+// TestFixtures checks want comments against suite findings, both ways.
+func TestFixtures(t *testing.T) {
+	actual := loadFixtures(t)
+	expected := wantComments(t)
+	keys := make(map[string]bool, len(actual)+len(expected))
+	for k := range actual {
+		keys[k] = true
+	}
+	for k := range expected {
+		keys[k] = true
+	}
+	for k := range keys {
+		got, want := actual[k], expected[k]
+		sort.Strings(got)
+		sort.Strings(want)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("%s: got findings [%s], want [%s]",
+				k, strings.Join(got, " "), strings.Join(want, " "))
+		}
+	}
+	if len(expected) == 0 {
+		t.Fatal("no want comments found; fixtures are not testing anything")
+	}
+}
+
+// TestKappavetClean runs the full suite over the repository and demands
+// zero findings: every suppression must be a deliberate, reasoned
+// directive, never an unnoticed regression.
+func TestKappavetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo lint skipped in -short mode")
+	}
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	findings := lint.NewSuite(fset).Run(pkgs)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("kappavet is not clean: %d finding(s); fix them or add a reasoned //kappa:allow", len(findings))
+	}
+}

@@ -1,0 +1,33 @@
+// Package directivebad exercises the directive validator: misspelled
+// analyzer names, missing reasons, allows that suppress nothing, unknown
+// verbs, and unattached or malformed marks are all findings of the
+// unsuppressible "directive" pseudo-analyzer.
+package directivebad
+
+// work strings the bad directives together on otherwise-clean lines.
+func work(n int) int {
+	// want-next directive
+	//kappa:allow nosuch misspelled analyzer name
+	x := n + 1
+	// want-next directive
+	//kappa:allow mapiter
+	y := x + 1
+	// want-next directive
+	//kappa:allow
+	z := y + 1
+	// want-next directive
+	//kappa:allow panicfree nothing on this or the next line needs it
+	w := z + 1
+	// want-next directive
+	//kappa:frobnicate
+	v := w + 1
+	// want-next directive
+	//kappa:hotpath
+	u := v + 1
+	// want-next directive
+	//kappa:since 2
+	t := u + 1
+	// want-next directive
+	//kappa:since two
+	return t
+}

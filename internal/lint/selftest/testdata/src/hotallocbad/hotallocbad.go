@@ -1,0 +1,24 @@
+// Package hotallocbad exercises the hotalloc analyzer's positive cases:
+// every allocating construct inside a //kappa:hotpath function.
+package hotallocbad
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+//kappa:hotpath
+func Build(n int, buf []byte) string {
+	tmp := make([]byte, 0, n) // want hotalloc
+	_ = tmp
+	s := fmt.Sprintf("%d", n) // want hotalloc
+	b := []byte(s)            // want hotalloc
+	_ = b
+	p := &pair{1, 2} // want hotalloc
+	_ = p
+	xs := []int{1, 2} // want hotalloc
+	_ = xs
+	var out []int
+	out = append(out, n) // want hotalloc
+	_ = out
+	return s
+}

@@ -1,0 +1,28 @@
+// Package mapiterbad exercises the mapiter analyzer's positive cases:
+// order-sensitive sinks driven directly by map iteration.
+package mapiterbad
+
+import "strings"
+
+// Keys assembles a slice from a map range with no following sort.
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want mapiter
+	}
+	return out
+}
+
+// Emit writes map values straight into a builder.
+func Emit(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want mapiter
+	}
+}
+
+// Send forwards map keys on a channel.
+func Send(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want mapiter
+	}
+}

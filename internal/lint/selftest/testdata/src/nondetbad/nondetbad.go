@@ -1,0 +1,25 @@
+// Package gen is named after a kernel package on purpose: the nondet
+// analyzer matches on package name, and this fixture proves it flags
+// ambient entropy there.
+package gen
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock inside a kernel package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want nondet
+}
+
+// Draw uses the global math/rand source.
+func Draw() int {
+	return rand.Intn(10) // want nondet
+}
+
+// PID leaks process identity into kernel output.
+func PID() int {
+	return os.Getpid() // want nondet
+}

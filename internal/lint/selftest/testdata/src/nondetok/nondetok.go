@@ -1,0 +1,11 @@
+// Package nondetok is not a kernel package, so the same entropy sources
+// that nondet flags in kernels are legal here (timing belongs to the
+// pipeline and observability layers).
+package nondetok
+
+import "time"
+
+// Stamp is fine: nondet scopes to kernel package names only.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,10 @@
+// Package panicfreebad exercises the panicfree analyzer's positive case: a
+// bare panic in a library function with no recover, mark, or sentinel.
+package panicfreebad
+
+// Check panics on bad input instead of returning an error.
+func Check(n int) {
+	if n < 0 {
+		panic("negative") // want panicfree
+	}
+}

@@ -1,0 +1,52 @@
+// Package panicfreeok exercises the panicfree analyzer's negative cases:
+// deferred recover, sentinel panic types, and marked invariant helpers.
+package panicfreeok
+
+import "errors"
+
+// failure is the sentinel panic payload this package recovers at its API
+// boundary — the *dist.SocketError pattern.
+//
+//kappa:invariant recovered by Run before returning
+type failure struct{ err error }
+
+// Run converts the sentinel panic back into an error.
+func Run(n int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = r.(*failure).err
+		}
+	}()
+	inner(n)
+	return nil
+}
+
+// inner throws the marked sentinel type; Run's recover is the contract.
+func inner(n int) {
+	if n < 0 {
+		panic(&failure{errors.New("negative")})
+	}
+}
+
+// Local keeps its panic function-local behind its own deferred recover.
+func Local(n int) (ok bool) {
+	defer func() { ok = recover() == nil }()
+	if n == 0 {
+		panic("zero")
+	}
+	return true
+}
+
+// mustPositive guards an internal invariant; callers validate n first.
+//
+//kappa:invariant callers validate n before the kernel runs
+func mustPositive(n int) {
+	if n <= 0 {
+		panic("not positive")
+	}
+}
+
+// Use keeps mustPositive referenced.
+func Use(n int) {
+	mustPositive(n + 1)
+}

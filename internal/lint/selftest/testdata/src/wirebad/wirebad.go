@@ -1,0 +1,65 @@
+// Package wire (fixture "wirebad") exercises the wiresync analyzer's
+// positive cases: frame kinds missing one side of the protocol, a dispatch
+// switch without a default, and a version-gated struct violating both the
+// append-order and decode-guard rules.
+package wire
+
+// Frame kinds. KindLost is encoded but never handled on read; KindGhost is
+// compared on read but never written.
+const (
+	KindPing  int = iota + 1 // encoded and decoded: clean
+	KindData                 // encoded and decoded: clean
+	KindLost                 // want wiresync
+	KindGhost                // want wiresync
+)
+
+// writeFrame stands in for the transport's frame writer.
+func writeFrame(dst []byte, kind int) []byte {
+	return append(dst, byte(kind))
+}
+
+// EncodeAll writes three of the four kinds.
+func EncodeAll(dst []byte) []byte {
+	dst = writeFrame(dst, KindPing)
+	dst = writeFrame(dst, KindData)
+	dst = writeFrame(dst, KindLost)
+	return dst
+}
+
+// Dispatch switches on two frame kinds without a default clause.
+func Dispatch(kind int) int {
+	switch kind { // want wiresync
+	case KindPing:
+		return 1
+	case KindData:
+		return 2
+	}
+	return 0
+}
+
+// IsGhost gives KindGhost its decode-side evidence.
+func IsGhost(kind int) bool { return kind == KindGhost }
+
+// Hello is a versioned payload whose gated field is mis-encoded below.
+type Hello struct {
+	A int
+	//kappa:since 2
+	B int
+}
+
+// AppendHello encodes the version-gated field before the ungated one,
+// breaking old decoders that parse the payload prefix.
+func AppendHello(dst []byte, h Hello) []byte { // want wiresync
+	dst = append(dst, byte(h.B))
+	dst = append(dst, byte(h.A))
+	return dst
+}
+
+// DecodeHello reads the gated field with no remaining-length guard, so a
+// shorter old-version payload fails instead of decoding cleanly.
+func DecodeHello(data []byte) (Hello, error) { // want wiresync
+	var h Hello
+	h.A = int(data[0])
+	h.B = int(data[1])
+	return h, nil
+}

@@ -1,0 +1,60 @@
+// Package wire (fixture "wiregood") exercises the wiresync analyzer's
+// negative cases: every kind on both paths, a defaulted dispatch switch,
+// and a version-gated struct encoded tail-last with a guarded decoder.
+package wire
+
+// Frame kinds, each written and handled.
+const (
+	KindHello int = iota + 1
+	KindBye
+)
+
+// writeFrame stands in for the transport's frame writer.
+func writeFrame(dst []byte, kind int) []byte {
+	return append(dst, byte(kind))
+}
+
+// EncodeAll writes every kind.
+func EncodeAll(dst []byte) []byte {
+	dst = writeFrame(dst, KindHello)
+	dst = writeFrame(dst, KindBye)
+	return dst
+}
+
+// Dispatch rejects unknown kinds explicitly.
+func Dispatch(kind int) int {
+	switch kind {
+	case KindHello:
+		return 1
+	case KindBye:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// Hello is a versioned payload encoded and decoded correctly.
+type Hello struct {
+	A int
+	//kappa:since 2
+	B int
+}
+
+// AppendHello extends the payload tail with the gated field.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = append(dst, byte(h.A))
+	dst = append(dst, byte(h.B))
+	return dst
+}
+
+// DecodeHello guards the gated tail on remaining length, so a version-1
+// payload decodes cleanly with zero timing.
+func DecodeHello(data []byte) (Hello, error) {
+	var h Hello
+	h.A = int(data[0])
+	if len(data) < 2 {
+		return h, nil
+	}
+	h.B = int(data[1])
+	return h, nil
+}

@@ -42,6 +42,8 @@ func NewEmpty(n int) Matching {
 // newEmptyIn draws the matching's backing array from a (nil = allocate).
 // Arena-backed matchings are returned to the arena by the caller via
 // a.PutInt32([]int32(m)) once contraction has consumed them.
+//
+//kappa:hotpath
 func newEmptyIn(a *mem.Arena, n int) Matching {
 	m := Matching(a.Int32(n))
 	for i := range m {
@@ -156,6 +158,8 @@ func putEdges(p *[]Edge) { edgeSlices.Put(p) }
 
 // allEdgesInto appends each undirected edge of g once (U < V) with ratings
 // and random tie breaks from r, into buf (which it returns re-sliced).
+//
+//kappa:hotpath
 func allEdgesInto(g *graph.Graph, rt *rating.Rater, r *rng.RNG, buf []Edge) []Edge {
 	edges := buf[:0]
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
@@ -163,6 +167,7 @@ func allEdgesInto(g *graph.Graph, rt *rating.Rater, r *rng.RNG, buf []Edge) []Ed
 		ws := g.AdjWeights(v)
 		for i, u := range adj {
 			if u > v {
+				//kappa:allow hotalloc appends into a buffer getEdges pre-capped to the edge count
 				edges = append(edges, Edge{v, u, ws[i], rt.Rate(v, u, ws[i]), uint32(r.Uint64())})
 			}
 		}
@@ -220,6 +225,7 @@ func ComputeScratch(g *graph.Graph, rt *rating.Rater, alg Algorithm, r *rng.RNG,
 		putEdges(buf)
 		return m
 	default:
+		//kappa:allow panicfree the Algorithm enum is validated by Config.Validate
 		panic("matching: unknown algorithm")
 	}
 }

@@ -98,6 +98,9 @@ func addFloat(bits *atomic.Uint64, v float64) {
 }
 
 // family resolves (or registers) a family, checking the signature.
+// Signature clashes are registration-site bugs, caught at startup.
+//
+//kappa:invariant metric registration is static; a clash is a programmer error
 func (r *Registry) family(name, help string, typ metricType, labels []string, bounds []float64) *family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -125,6 +128,8 @@ func (r *Registry) family(name, help string, typ metricType, labels []string, bo
 }
 
 // child resolves (or creates) the child for the given label values.
+//
+//kappa:invariant label arity is fixed at the registration site
 func (f *family) child(values []string) *metric {
 	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", f.name, len(f.labels), len(values)))
@@ -145,6 +150,8 @@ func (f *family) child(values []string) *metric {
 
 // bindFunc registers fn as a pull child; duplicate bindings are a
 // programmer error.
+//
+//kappa:invariant pull bindings are static registration-time wiring
 func (f *family) bindFunc(fn func() float64, values []string) {
 	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", f.name, len(f.labels), len(values)))

@@ -39,6 +39,8 @@ func New(g *graph.Graph, k int, eps float64) *Partition {
 
 // FromBlocks wraps an existing block assignment (which is adopted, not
 // copied).
+//
+//kappa:invariant block arrays come from this package's own partitions or decoded wire payloads that validate length
 func FromBlocks(g *graph.Graph, k int, eps float64, block []int32) *Partition {
 	if len(block) != g.NumNodes() {
 		panic("part: block array has wrong length")

@@ -35,8 +35,11 @@ func NewBucketQueue(n, maxGain int) *BucketQueue {
 // Reset re-initializes the queue for node ids in [0, n) and gains in
 // [-maxGain, maxGain], reusing the bucket, position and gain storage when
 // large enough — the allocation-free equivalent of NewBucketQueue.
+//
+//kappa:hotpath
 func (q *BucketQueue) Reset(n, maxGain int) {
 	if nb := 2*maxGain + 1; cap(q.buckets) < nb {
+		//kappa:allow hotalloc grow-once; steady-state Resets reuse the buckets
 		q.buckets = make([][]int32, nb)
 	} else {
 		q.buckets = q.buckets[:nb]
@@ -46,7 +49,9 @@ func (q *BucketQueue) Reset(n, maxGain int) {
 	}
 	q.maxGain = maxGain
 	if cap(q.pos) < n {
+		//kappa:allow hotalloc grow-once; steady-state Resets reuse the storage
 		q.pos = make([]int32, n)
+		//kappa:allow hotalloc grow-once; steady-state Resets reuse the storage
 		q.gain = make([]int32, n)
 	}
 	q.pos = q.pos[:n]
@@ -68,6 +73,8 @@ func (q *BucketQueue) Empty() bool { return q.size == 0 }
 func (q *BucketQueue) Contains(v int32) bool { return q.pos[v] >= 0 }
 
 // Gain returns v's current gain; v must be queued.
+//
+//kappa:invariant absent-node access is a refinement-kernel bug, not an input error
 func (q *BucketQueue) Gain(v int32) int64 {
 	if q.pos[v] < 0 {
 		panic("pq: Gain of absent node")
@@ -75,6 +82,10 @@ func (q *BucketQueue) Gain(v int32) int64 {
 	return int64(q.gain[v])
 }
 
+// bucketOf maps a gain to its bucket index; gains are bounded by the
+// maximum weighted degree, so an out-of-range gain is a kernel bug.
+//
+//kappa:invariant gain bounds follow from the max weighted degree by construction
 func (q *BucketQueue) bucketOf(gain int) int {
 	if gain > q.maxGain || gain < -q.maxGain {
 		panic("pq: gain outside bucket range")
@@ -83,6 +94,8 @@ func (q *BucketQueue) bucketOf(gain int) int {
 }
 
 // Push inserts v with the given gain; v must be absent.
+//
+//kappa:invariant double-push is a refinement-kernel bug, not an input error
 func (q *BucketQueue) Push(v int32, gain int) {
 	if q.pos[v] >= 0 {
 		panic("pq: Push of node already in queue")
@@ -123,6 +136,8 @@ func (q *BucketQueue) Remove(v int32) {
 
 // PopMax removes and returns a node with the maximum gain. The queue is
 // "monotone-friendly": the highest pointer only moves down between pushes.
+//
+//kappa:invariant callers check Empty first; an empty PopMax is a kernel bug
 func (q *BucketQueue) PopMax() (int32, int64) {
 	if q.size == 0 {
 		panic("pq: PopMax of empty queue")

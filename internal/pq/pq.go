@@ -43,6 +43,8 @@ func (q *GainQueue) Empty() bool { return len(q.heap) == 0 }
 func (q *GainQueue) Contains(v int32) bool { return q.pos[v] >= 0 }
 
 // Gain returns the current gain of queued node v. It panics if v is absent.
+//
+//kappa:invariant absent-node access is a refinement-kernel bug, not an input error
 func (q *GainQueue) Gain(v int32) int64 {
 	p := q.pos[v]
 	if p < 0 {
@@ -62,6 +64,8 @@ func less(a, b item) bool {
 
 // Push inserts node v with the given gain and tiebreak value. It panics if v
 // is already queued.
+//
+//kappa:invariant double-push is a refinement-kernel bug, not an input error
 func (q *GainQueue) Push(v int32, gain int64, tiebreak uint32) {
 	if q.pos[v] >= 0 {
 		panic("pq: Push of node already in queue")
@@ -73,6 +77,8 @@ func (q *GainQueue) Push(v int32, gain int64, tiebreak uint32) {
 
 // Max returns the node with the highest gain and its gain without removing
 // it. It panics on an empty queue.
+//
+//kappa:invariant callers check Empty first; an empty Max is a kernel bug
 func (q *GainQueue) Max() (int32, int64) {
 	if len(q.heap) == 0 {
 		panic("pq: Max of empty queue")
@@ -88,6 +94,8 @@ func (q *GainQueue) PopMax() (int32, int64) {
 }
 
 // Update changes the gain of queued node v, restoring heap order.
+//
+//kappa:invariant absent-node update is a refinement-kernel bug, not an input error
 func (q *GainQueue) Update(v int32, gain int64) {
 	p := q.pos[v]
 	if p < 0 {
@@ -134,8 +142,11 @@ func (q *GainQueue) Clear() {
 // allocation-free equivalent of NewGainQueue(n) used by the refinement
 // workspaces, which run one FM search per block pair per level per global
 // iteration on the same queue pair.
+//
+//kappa:hotpath
 func (q *GainQueue) Reset(n int) {
 	if cap(q.pos) < n {
+		//kappa:allow hotalloc grow-once; steady-state Resets reuse the storage
 		q.pos = make([]int32, n)
 	}
 	q.pos = q.pos[:n]

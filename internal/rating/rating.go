@@ -93,6 +93,7 @@ func (r *Rater) Rate(u, v int32, w int64) float64 {
 		}
 		return float64(w) / float64(den)
 	default:
+		//kappa:allow panicfree the rating Func enum is validated by Config.Validate
 		panic("rating: unknown rating function")
 	}
 }

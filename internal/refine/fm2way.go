@@ -139,6 +139,8 @@ type result struct {
 // ever written by this pair's owner, so the snapshot is exact where it
 // matters. The BFS frontier of each depth is the band segment appended
 // during the previous depth, so no separate frontier storage is needed.
+//
+//kappa:hotpath
 func buildBand(p *part.Partition, ws *Workspace, view []int32, a, b int32, depth int) []int32 {
 	g := p.G
 	inBand := ws.inBand
@@ -154,6 +156,7 @@ func buildBand(p *part.Partition, ws *Workspace, view []int32, a, b int32, depth
 		}
 		for _, u := range g.Adj(v) {
 			if viewGet(view, u) == other {
+				//kappa:allow hotalloc amortized growth of the reusable workspace band
 				band = append(band, v)
 				inBand[v] = true
 				break
@@ -168,6 +171,7 @@ func buildBand(p *part.Partition, ws *Workspace, view []int32, a, b int32, depth
 			for _, u := range g.Adj(v) {
 				if viewGet(view, u) == bv && !inBand[u] {
 					inBand[u] = true
+					//kappa:allow hotalloc amortized growth of the reusable workspace band
 					band = append(band, u)
 				}
 			}
@@ -441,6 +445,7 @@ func (s *pairSearch) chooseQueue(st Strategy, alternateNext byte, r *rng.RNG) *p
 		}
 		return qb
 	default:
+		//kappa:allow panicfree the strategy enum is internal to the refiner and exhaustive
 		panic("refine: unknown strategy")
 	}
 }

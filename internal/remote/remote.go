@@ -557,10 +557,17 @@ func (co *coordinator) remoteLevel(cur *graph.Graph, cfg *core.Config, blocks []
 }
 
 // failWorker declares w dead mid-attempt and emits an error outcome for
-// every PE it still owed, so the attempt's outcome count stays exact.
+// every PE it still owed, so the attempt's outcome count stays exact. PEs
+// are emitted in ascending order so the first error the collector sees —
+// the one a failed run reports — does not depend on map iteration order.
 func (co *coordinator) failWorker(w *workerConn, outcomes chan<- outcome, pending map[int]bool, err *WorkerError) {
 	co.markDead(w)
+	pes := make([]int, 0, len(pending))
 	for pe := range pending {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	for _, pe := range pes {
 		outcomes <- outcome{pe: pe, err: err}
 	}
 }

@@ -68,6 +68,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+//kappa:invariant a non-positive bound is a kernel bug, not an input error
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn called with non-positive n")
@@ -111,6 +113,8 @@ func (r *RNG) Perm(n int) []int {
 // PermInto fills p with a random permutation of [0, len(p)), drawing exactly
 // the same values from r as Perm(len(p)) — the allocation-free variant used
 // by the refinement scratch workspaces.
+//
+//kappa:hotpath
 func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i

@@ -145,14 +145,16 @@ func DecodePartition(data []byte) (blocks []int32, rest []byte, err error) {
 // Workers derive their own deadlines from these announcements, so one flag
 // on the coordinator configures the whole system consistently.
 type Assign struct {
-	Version         int
-	PE              int
-	PEs             int
-	Rating          int // rating.Func
-	Matcher         int // matching.Algorithm
-	Boundary        bool
+	Version  int
+	PE       int
+	PEs      int
+	Rating   int // rating.Func
+	Matcher  int // matching.Algorithm
+	Boundary bool
+	//kappa:since 2
 	HeartbeatMillis int // coordinator → worker heartbeat interval
-	TimeoutMillis   int // deadline the coordinator applies to this worker
+	//kappa:since 2
+	TimeoutMillis int // deadline the coordinator applies to this worker
 }
 
 // AppendAssign encodes an Assign payload.

@@ -53,10 +53,11 @@ examples:
 	@set -e; for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d"; done
 
 # race runs the race detector over the concurrency-heavy packages plus the
-# pipeline contract tests (context cancellation, transport swap) and the
-# observability stack (concurrent scrapes against a running pipeline).
+# pipeline contract tests (context cancellation, transport swap), the
+# observability stack (concurrent scrapes against a running pipeline), and
+# the service layer (queue/drain/cancel handshakes under concurrent HTTP).
 race:
-	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist ./internal/remote ./internal/obs .
+	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist ./internal/remote ./internal/obs ./internal/svc .
 
 # fuzz smokes the native Go fuzz targets of the byte-level decoders — the
 # file-format parsers (METIS text, binary CSR) and the wire-format message

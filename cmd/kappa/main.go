@@ -28,10 +28,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -59,9 +61,9 @@ func fail(err error) {
 }
 
 func main() {
-	// Subcommands of the out-of-process backend: `kappa serve` runs the
-	// coordinator, `kappa worker` one PE process. Everything else is the
-	// classic single-process flag interface.
+	// Subcommands: `kappa serve` runs the out-of-process coordinator,
+	// `kappa worker` one PE process, `kappa api` the partitioner-as-a-service
+	// daemon. Everything else is the classic single-process flag interface.
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "serve":
@@ -69,6 +71,9 @@ func main() {
 			return
 		case "worker":
 			runWorker(os.Args[2:])
+			return
+		case "api":
+			runAPI(os.Args[2:])
 			return
 		}
 	}
@@ -157,7 +162,11 @@ func main() {
 	}
 	cfg.Coarsen = mode
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the run context: the pipeline unwinds between
+	// kernels, profiles flush, and the process exits 1 — instead of dying
+	// mid-write with a truncated -out file or an empty CPU profile.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -196,6 +205,9 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fail(fmt.Errorf("run exceeded -timeout %v: %v", *timeout, err))
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			fail(fmt.Errorf("interrupted: %v", err))
 		}
 		fail(err)
 	}
@@ -285,43 +297,8 @@ func loadGraph(inFile, genSpec string) (*graph.Graph, error) {
 	}
 }
 
+// generate delegates to the validated spec parser shared with the service
+// layer, so CLI and API jobs accept exactly the same generator vocabulary.
 func generate(spec string) (*graph.Graph, error) {
-	kind, arg, _ := strings.Cut(spec, ":")
-	atoi := func(s string) int {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return -1
-		}
-		return v
-	}
-	switch kind {
-	case "rgg":
-		return gen.RGG(atoi(arg), 1), nil
-	case "delaunay":
-		return gen.DelaunayX(atoi(arg), 1), nil
-	case "grid":
-		w, h, ok := strings.Cut(arg, "x")
-		if !ok {
-			return nil, fmt.Errorf("grid spec must be WxH")
-		}
-		return gen.Grid2D(atoi(w), atoi(h)), nil
-	case "grid3d":
-		parts := strings.Split(arg, "x")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("grid3d spec must be XxYxZ")
-		}
-		return gen.Grid3D(atoi(parts[0]), atoi(parts[1]), atoi(parts[2])), nil
-	case "road":
-		return gen.Road(atoi(arg), 8, 1), nil
-	case "social":
-		return gen.PrefAttach(atoi(arg), 5, 1), nil
-	case "rmat":
-		return gen.RMAT(atoi(arg), 10, 1), nil
-	case "fem":
-		return gen.FEMMesh(atoi(arg), 8, 1), nil
-	case "banded":
-		return gen.Banded(atoi(arg), 10, 30, 0.7, 1), nil
-	default:
-		return nil, fmt.Errorf("unknown generator %q", kind)
-	}
+	return gen.FromSpec(spec)
 }

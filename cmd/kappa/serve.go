@@ -6,13 +6,15 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/part"
 	"repro/internal/remote"
+	"repro/internal/wire"
 )
 
 // runServe is the `kappa serve` subcommand: the coordinator of the
@@ -41,10 +43,15 @@ func runServe(args []string) {
 			"declare a worker dead when it is silent for this long (bounds every control and transport frame); 0 = wait forever")
 		hbeat = fs.Duration("heartbeat", 0,
 			"interval of coordinator heartbeats that keep workers alive during local phases; 0 = none")
+		maxFrame = fs.Uint64("max-frame", 0,
+			"decode budget: largest control-frame payload accepted from workers, in bytes; 0 = built-in default")
 	)
 	var ob obsFlags
 	ob.register(fs)
 	fs.Parse(args)
+	if *maxFrame != 0 {
+		wire.SetMaxFrame(*maxFrame)
+	}
 
 	g, err := loadGraph(*inFile, *genSpec)
 	if err != nil {
@@ -65,7 +72,10 @@ func runServe(args []string) {
 	cfg.Distribution = strategy
 	cfg.Coarsen = core.CoarsenDistributed
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the coordination context: workers see the
+	// connection close, cleanup runs, and the process exits 1.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -141,10 +151,18 @@ func runWorker(args []string) {
 			"interval of worker heartbeats that keep the coordinator's deadline refreshed; 0 = a quarter of the announced worker timeout")
 		faultsFl = fs.String("faults", "",
 			"fault-injection schedule for chaos testing, e.g. 'ctrl:read:3:kill;pe0:write:2:delay:50ms'")
+		maxFrame = fs.Uint64("max-frame", 0,
+			"decode budget: largest control-frame payload accepted from the coordinator, in bytes; 0 = built-in default")
 	)
 	fs.Parse(args)
+	if *maxFrame != 0 {
+		wire.SetMaxFrame(*maxFrame)
+	}
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the worker context: the in-flight superstep
+	// aborts, the connection closes, and the process exits 1.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -174,16 +192,8 @@ func runWorker(args []string) {
 	}
 }
 
-// parsePreset maps a preset name to its variant.
+// parsePreset maps a preset name to its variant, via the parser shared with
+// the service layer.
 func parsePreset(name string) (core.Variant, error) {
-	switch strings.ToLower(name) {
-	case "minimal":
-		return core.Minimal, nil
-	case "fast":
-		return core.Fast, nil
-	case "strong":
-		return core.Strong, nil
-	default:
-		return core.Fast, fmt.Errorf("%w: unknown preset %q", core.ErrInvalidConfig, name)
-	}
+	return core.ParseVariant(name)
 }

@@ -152,6 +152,23 @@ func (v Variant) String() string {
 	}
 }
 
+// ParseVariant parses a flag-level preset name (minimal | fast | strong),
+// case-insensitively; the empty string means Fast, the everyday default.
+// Unknown names come back wrapped in ErrInvalidConfig, so CLI and service
+// admission paths can classify them as usage errors.
+func ParseVariant(name string) (Variant, error) {
+	switch strings.ToLower(name) {
+	case "minimal":
+		return Minimal, nil
+	case "fast", "":
+		return Fast, nil
+	case "strong":
+		return Strong, nil
+	default:
+		return Fast, fmt.Errorf("%w: unknown preset %q (want minimal|fast|strong)", ErrInvalidConfig, name)
+	}
+}
+
 // NewConfig returns the preset of Table 2 for the given variant.
 func NewConfig(v Variant, k int) Config {
 	c := Config{

@@ -1,0 +1,74 @@
+package gen
+
+import "testing"
+
+func TestFromSpecFamilies(t *testing.T) {
+	cases := []struct {
+		spec  string
+		nodes int // 0 = just require non-nil
+	}{
+		{"rgg:6", 64},
+		{"delaunay:6", 64},
+		{"grid:4x5", 20},
+		{"grid3d:3x3x3", 27},
+		{"road:100", 0},
+		{"social:100", 100},
+		{"rmat:6", 0}, // RMAT compacts away isolated nodes
+		{"fem:100", 0},
+		{"banded:100", 100},
+	}
+	for _, tc := range cases {
+		g, err := FromSpec(tc.spec)
+		if err != nil {
+			t.Errorf("FromSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if tc.nodes > 0 && g.NumNodes() != tc.nodes {
+			t.Errorf("FromSpec(%q): %d nodes, want %d", tc.spec, g.NumNodes(), tc.nodes)
+		}
+	}
+}
+
+func TestFromSpecRejectsHostileArgs(t *testing.T) {
+	// Every one of these would panic or attempt an absurd allocation if it
+	// reached a generator unvalidated.
+	bad := []string{
+		"",
+		"rgg",
+		"rgg:",
+		"rgg:-1",
+		"rgg:63",
+		"rgg:banana",
+		"road:0",
+		"road:-5",
+		"road:999999999999",
+		"social:1000000000",
+		"grid:0x5",
+		"grid:4",
+		"grid:4x5x6",
+		"grid:99999x99999",
+		"grid3d:4x5",
+		"grid3d:2000x2000x2000",
+		"banded:1x2",
+		"warp:10",
+	}
+	for _, spec := range bad {
+		if g, err := FromSpec(spec); err == nil {
+			t.Errorf("FromSpec(%q) = %d-node graph, want error", spec, g.NumNodes())
+		}
+	}
+}
+
+func TestFromSpecMatchesDirectCall(t *testing.T) {
+	// The spec path must produce the same graph as the direct constructor
+	// with the documented fixed parameters (seed 1 etc.).
+	a, err := FromSpec("rgg:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := RGG(8, 1)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("FromSpec(rgg:8) = n%d m%d, RGG(8,1) = n%d m%d",
+			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+}

@@ -149,12 +149,20 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 	if n64 > maxNodes {
 		return nil, fmt.Errorf("graphio: node count %d out of range [0, %d]", n64, maxNodes)
 	}
+	// Budget check before the first n-proportional allocation: a handful of
+	// header bytes must not be able to command gigabytes of CSR arrays.
+	if err := checkNodeBudget(n64); err != nil {
+		return nil, err
+	}
 	half64, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("graphio: reading edge count: %w", unexpectEOF(err))
 	}
 	if half64 > 2*maxEdges || half64%2 != 0 {
 		return nil, fmt.Errorf("graphio: half-edge count %d invalid (want even, <= %d)", half64, 2*maxEdges)
+	}
+	if err := checkEdgeBudget(half64 / 2); err != nil {
+		return nil, err
 	}
 	n, half := int(n64), int(half64)
 

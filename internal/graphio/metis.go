@@ -232,6 +232,14 @@ func ReadMETIS(r io.Reader) (*graph.Graph, error) {
 	if m < 0 || m > maxEdges {
 		return nil, fmt.Errorf("graphio: edge count %d out of range [0, %d]", m, maxEdges)
 	}
+	// Budget check before the builder's n-proportional allocation: a
+	// one-line header must not command gigabytes.
+	if err := checkNodeBudget(uint64(n)); err != nil {
+		return nil, err
+	}
+	if err := checkEdgeBudget(uint64(m)); err != nil {
+		return nil, err
+	}
 	hasNW, hasEW := false, false
 	if tok, eol, err := mr.token(); err != nil {
 		return nil, fmt.Errorf("graphio: reading header: %w", err)

@@ -4,6 +4,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns the observability endpoint for r:
@@ -31,6 +32,24 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
+// NewServer returns an http.Server for h hardened against slow or hostile
+// clients: a header that trickles in (slowloris), a request body that never
+// finishes, or an idle keep-alive connection all get bounded instead of
+// pinning a goroutine and file descriptor forever. WriteTimeout is left
+// unset deliberately — the endpoints this server fronts stream long
+// responses (30-second pprof CPU profiles, job-report downloads), and a
+// write deadline would truncate exactly the responses worth waiting for.
+// Both the observability endpoint and the kappad API server are built
+// through this one constructor, so the hygiene cannot drift between them.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // Serve starts the observability endpoint on addr (host:port; port 0 picks a
 // free port) and returns the running server plus the bound address. The
 // server runs until Close/Shutdown; serving errors after Close are
@@ -40,7 +59,7 @@ func Serve(addr string, r *Registry) (*http.Server, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := NewServer(Handler(r))
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

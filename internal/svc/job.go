@@ -1,0 +1,220 @@
+package svc
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// State is a job's position in its lifecycle. The machine is
+//
+//	queued ──► running ──► done | failed | canceled
+//	   │                              ▲
+//	   └──────── (cancel/expiry) ─────┘
+//
+// plus the admission-time rejections (queue full, draining) that never
+// create a job at all and are counted only in the metrics.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one admitted partitioning request. The immutable fields (id, graph,
+// config, context) are set at admission; the mutable lifecycle lives behind
+// mu. Reads through Status and the artifact accessors are safe from any
+// goroutine.
+type Job struct {
+	id  string
+	g   *graph.Graph
+	cfg core.Config
+
+	// ctx carries the job's deadline and cancellation; cancel releases it
+	// and is safe to call many times.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// cancelRequested distinguishes a client cancel from a deadline expiry:
+	// both surface as a context error from the pipeline, but only the former
+	// terminates as StateCanceled.
+	cancelRequested atomic.Bool
+
+	submitted time.Time
+	deadline  time.Time // zero when the job has no deadline
+
+	mu      sync.Mutex
+	state   State
+	wait    time.Duration // time spent queued, set when the job starts
+	runTime time.Duration // time spent running, set when the job finishes
+	started time.Time
+	errMsg  string
+	cut     int64
+	balance float64
+	levels  int
+	arts    *jobArtifacts
+
+	// done is closed when the job reaches a terminal state; tests and the
+	// drain path wait on it.
+	done chan struct{}
+}
+
+// newJob builds a queued job whose deadline clock starts now: time spent
+// waiting in the queue counts against the deadline, so a drowning server
+// sheds expired work instead of running it pointlessly late.
+func newJob(id string, g *graph.Graph, cfg core.Config, parent context.Context, timeout time.Duration) *Job {
+	j := &Job{
+		id:        id,
+		g:         g,
+		cfg:       cfg,
+		submitted: time.Now(),
+		state:     StateQueued,
+		done:      make(chan struct{}),
+	}
+	if timeout > 0 {
+		j.deadline = j.submitted.Add(timeout)
+		j.ctx, j.cancel = context.WithDeadline(parent, j.deadline)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(parent)
+	}
+	return j
+}
+
+// setRunning moves the job from queued to running; it reports false when the
+// job was already canceled while waiting, in which case the worker must not
+// run it.
+func (j *Job) setRunning(wait time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.wait = wait
+	j.started = time.Now()
+	return true
+}
+
+// finish settles the job in a terminal state, stores its artifacts, releases
+// its context, and wakes every waiter.
+func (j *Job) finish(state State, res core.Result, arts *jobArtifacts, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	if !j.started.IsZero() {
+		j.runTime = time.Since(j.started)
+	}
+	j.state = state
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	if state == StateDone {
+		j.cut = res.Cut
+		j.balance = res.Balance
+		j.levels = res.Levels
+		j.arts = arts
+	}
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+// requestCancel asks the job to stop: a queued job settles canceled
+// immediately (the worker will skip it), a running one has its context
+// canceled and settles when the pipeline unwinds. Returns false when the job
+// is already terminal.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	j.cancelRequested.Store(true)
+	if queued {
+		// Settle now so the client observes "canceled" without waiting for
+		// a worker to reach the job in the queue. finish is idempotent, so
+		// the racing worker (or a second cancel) is harmless.
+		j.finish(StateCanceled, core.Result{}, nil, context.Canceled)
+	} else {
+		j.cancel()
+	}
+	return true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status is the poll-endpoint view of a job.
+type Status struct {
+	ID        string  `json:"id"`
+	State     State   `json:"state"`
+	Error     string  `json:"error,omitempty"`
+	Nodes     int     `json:"nodes"`
+	Edges     int     `json:"edges"`
+	K         int     `json:"k"`
+	Seed      uint64  `json:"seed"`
+	QueueSec  float64 `json:"queue_seconds,omitempty"`
+	RunSec    float64 `json:"run_seconds,omitempty"`
+	Deadline  string  `json:"deadline,omitempty"`
+	Cut       int64   `json:"cut,omitempty"`
+	Balance   float64 `json:"balance,omitempty"`
+	Levels    int     `json:"levels,omitempty"`
+	Partition string  `json:"partition,omitempty"` // URL path of the result, when done
+	Report    string  `json:"report,omitempty"`    // URL path of the run report, when done
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:    j.id,
+		State: j.state,
+		Error: j.errMsg,
+		Nodes: j.g.NumNodes(),
+		Edges: j.g.NumEdges(),
+		K:     j.cfg.K,
+		Seed:  j.cfg.Seed,
+	}
+	if !j.deadline.IsZero() {
+		st.Deadline = j.deadline.UTC().Format(time.RFC3339Nano)
+	}
+	if j.wait > 0 {
+		st.QueueSec = j.wait.Seconds()
+	}
+	if j.runTime > 0 {
+		st.RunSec = j.runTime.Seconds()
+	}
+	if j.state == StateDone {
+		st.Cut = j.cut
+		st.Balance = j.balance
+		st.Levels = j.levels
+		st.Partition = "/api/v1/jobs/" + j.id + "/result"
+		st.Report = "/api/v1/jobs/" + j.id + "/report"
+	}
+	return st
+}
+
+// artifacts returns the rendered result bytes, or nil when the job is not
+// done.
+func (j *Job) artifacts() *jobArtifacts {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.arts
+}

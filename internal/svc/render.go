@@ -1,0 +1,33 @@
+package svc
+
+import (
+	"bytes"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// renderPartition encodes blocks in the CLI's -out format: one block id per
+// line. Keeping the encodings identical is a tested invariant — a job's
+// result body must byte-match the file a one-shot `kappa` run writes for the
+// same input and seed.
+func renderPartition(blocks []int32) []byte {
+	var buf bytes.Buffer
+	buf.Grow(2 * len(blocks))
+	var scratch [12]byte
+	for _, b := range blocks {
+		buf.Write(strconv.AppendInt(scratch[:0], int64(b), 10))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// renderReport serializes a run report exactly as the CLI's -report flag
+// does (Report.WriteTo: indented JSON plus a trailing newline).
+func renderReport(rep *obs.Report) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -22,7 +22,10 @@ func WriteFrame(w io.Writer, kind byte, payload []byte) error {
 }
 
 // ReadFrame reads one control frame. The payload buffer is freshly allocated
-// per call (control frames are rare — one per level, not per superstep).
+// per call (control frames are rare — one per level, not per superstep), so
+// the declared length is checked against the decode budget (SetMaxFrame)
+// before the allocation: an over-budget declaration returns a *LimitError
+// without touching the allocator.
 func ReadFrame(r *bufio.Reader) (kind byte, payload []byte, err error) {
 	kind, err = r.ReadByte()
 	if err != nil {
@@ -32,8 +35,8 @@ func ReadFrame(r *bufio.Reader) (kind byte, payload []byte, err error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("wire: frame length: %w", unexpectEOF(err))
 	}
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	if limit := MaxFrame(); n > limit {
+		return 0, nil, &LimitError{What: "frame", Declared: n, Limit: limit}
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -63,10 +63,6 @@ const (
 	KindReassign byte = 7
 )
 
-// maxFrame bounds a control frame's payload; a peer announcing more is
-// corrupt or hostile, not busy.
-const maxFrame = 1 << 31
-
 // appendUvarint/readUvarint are the package's primitive: everything integer
 // goes over the wire as a uvarint (zigzag for signed values).
 func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/part"
+	"repro/internal/svc"
 )
 
 // Graph is the weighted undirected graph in adjacency-array (CSR) form.
@@ -417,3 +418,45 @@ func RMAT(scale, edgeFactor int, seed uint64) *Graph { return gen.RMAT(scale, ed
 func Banded(n, blk, band int, fill float64, seed uint64) *Graph {
 	return gen.Banded(n, blk, band, fill, seed)
 }
+
+// GenerateFromSpec builds a benchmark-family graph from a compact spec
+// string — the vocabulary of the kappa CLI's -gen flag and the API's "gen"
+// job field: rgg:S, delaunay:S, grid:WxH, grid3d:XxYxZ, road:N, social:N,
+// rmat:S, fem:N, banded:N. Specs are validated (sizes bounded, dimensions
+// positive) before any generator runs.
+func GenerateFromSpec(spec string) (*Graph, error) { return gen.FromSpec(spec) }
+
+// Service is the embeddable partitioner-as-a-service: the bounded job queue,
+// admission control, per-job deadlines, panic isolation, and graceful drain
+// behind the `kappa api` daemon. Mount Handler() on an HTTP server (see
+// NewHTTPServer for a hardened one).
+type Service = svc.Server
+
+// ServiceOptions configures a Service; the zero value is serviceable.
+type ServiceOptions = svc.Options
+
+// ServiceJobSpec is the submit-request body of the service API.
+type ServiceJobSpec = svc.JobSpec
+
+// ServiceJobStatus is the poll-endpoint view of a service job.
+type ServiceJobStatus = svc.Status
+
+// ServiceJobState is a job's position in its lifecycle.
+type ServiceJobState = svc.State
+
+// Service job states.
+const (
+	JobQueued   = svc.StateQueued
+	JobRunning  = svc.StateRunning
+	JobDone     = svc.StateDone
+	JobFailed   = svc.StateFailed
+	JobCanceled = svc.StateCanceled
+)
+
+// NewService starts a partitioning service; stop it with Drain or Close.
+func NewService(opts ServiceOptions) *Service { return svc.New(opts) }
+
+// NewHTTPServer wraps h in an http.Server hardened against slow and hostile
+// clients (header/read/idle timeouts) — the same construction the kappa
+// api and observability endpoints use.
+func NewHTTPServer(h http.Handler) *http.Server { return obs.NewServer(h) }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test lint check docs fmt bench bench-smoke bench-json examples race fuzz
+.PHONY: all vet build test lint check docs fmt bench bench-baseline bench-compare examples race fuzz
 
 all: check
 
@@ -34,18 +34,19 @@ docs: fmt vet
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-# bench-smoke is the CI guard for the perf benchmarks: one iteration of the
-# Table1/Table2 suites with allocation tracking, so they cannot rot.
-bench-smoke:
-	$(GO) test -bench='Table1|Table2' -benchtime=1x -benchmem -run=^$$ .
+# The regression gate compares the Table1/Table2 suite against the committed
+# benchstat-comparable baseline (BENCH_BASELINE.txt). GOMAXPROCS=1 makes the
+# gated metrics — allocs/op and B/op — machine-independent: the pipeline is
+# deterministic, so single-threaded allocation counts are reproducible
+# anywhere; ns/op stays informational. Refresh the baseline intentionally
+# with bench-baseline and commit it alongside the change that explains it.
+BENCH_GATE ?= Table1|Table2
+bench-baseline:
+	GOMAXPROCS=1 $(GO) test -bench='$(BENCH_GATE)' -benchtime=1x -benchmem -run=^$$ . | tee BENCH_BASELINE.txt
 
-# bench-json measures the smoke benchmarks (Table1/Table2 + end-to-end
-# Partition per family, plus the observed variant quantifying metric-stack
-# overhead) with -benchmem semantics and writes the perf trajectory
-# artifact, pairing each number with the recorded PR4 numbers. Commit the
-# refreshed BENCH_PR8.json alongside perf changes.
-bench-json:
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -out BENCH_PR8.json
+bench-compare:
+	GOMAXPROCS=1 $(GO) test -bench='$(BENCH_GATE)' -benchtime=1x -benchmem -run=^$$ . | tee /tmp/bench-current.txt
+	$(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.txt -current /tmp/bench-current.txt
 
 # examples builds and runs every examples/* program end to end (CI runs
 # this too, so the example code can never rot).
@@ -57,16 +58,23 @@ examples:
 # observability stack (concurrent scrapes against a running pipeline), and
 # the service layer (queue/drain/cancel handshakes under concurrent HTTP).
 race:
-	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist ./internal/remote ./internal/obs ./internal/svc .
+	$(GO) test -race ./internal/core ./internal/coarsen ./internal/matching ./internal/dist ./internal/remote ./internal/obs ./internal/svc ./internal/store .
 
 # fuzz smokes the native Go fuzz targets of the byte-level decoders — the
-# file-format parsers (METIS text, binary CSR) and the wire-format message
-# codec every socket frame flows through — for a few seconds each; CI runs
-# this so the decoders can never regress into panicking on malformed input.
+# file-format parsers (METIS text, binary CSR), the wire-format message
+# codec every socket frame flows through, and the shard-store readers
+# (manifest JSON, shard files) — for a few seconds each; CI runs this so the
+# decoders can never regress into panicking on malformed input.
+# FUZZMIN caps per-input minimization: binary-format targets surface many
+# interesting inputs, and the default 60s minimization per input stalls a
+# short smoke run before it fuzzes anything.
 # Longer local sessions:
 #   go test ./internal/graphio -run=^$ -fuzz=FuzzReadMETIS -fuzztime=5m
 FUZZTIME ?= 10s
+FUZZMIN ?= 100x
 fuzz:
-	$(GO) test ./internal/graphio -run=^$$ -fuzz=FuzzReadMETIS -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/graphio -run=^$$ -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/wire -run=^$$ -fuzz=FuzzMsgCodec -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/graphio -run=^$$ -fuzz=FuzzReadMETIS -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMIN)
+	$(GO) test ./internal/graphio -run=^$$ -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMIN)
+	$(GO) test ./internal/wire -run=^$$ -fuzz=FuzzMsgCodec -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMIN)
+	$(GO) test ./internal/store -run=^$$ -fuzz=FuzzReadManifest -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMIN)
+	$(GO) test ./internal/store -run=^$$ -fuzz=FuzzReadShard -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMIN)

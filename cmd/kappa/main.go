@@ -16,6 +16,12 @@
 //	kappa worker -connect 127.0.0.1:2177 &
 //	kappa worker -connect 127.0.0.1:2177
 //
+// The shard subcommand writes an out-of-core shard store that serve streams
+// without holding the global graph in memory — same partition, same report:
+//
+//	kappa shard -in mesh.graph -pe 8 -dist rcb -o mesh.kst
+//	kappa serve -shards mesh.kst -k 8 -listen 127.0.0.1:2177
+//
 // Configuration errors (bad preset, bad flag values, invalid parameter
 // combinations) exit 2; runtime errors (missing files, exceeded -timeout)
 // exit 1.
@@ -74,6 +80,9 @@ func main() {
 			return
 		case "api":
 			runAPI(os.Args[2:])
+			return
+		case "shard":
+			runShard(os.Args[2:])
 			return
 		}
 	}

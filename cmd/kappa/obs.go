@@ -28,6 +28,7 @@ type obsFlags struct {
 	metrics     string
 	metricsHold time.Duration
 	report      string
+	reportZero  bool
 }
 
 // register installs the flags on fs (flag.CommandLine for the root command).
@@ -38,6 +39,8 @@ func (f *obsFlags) register(fs *flag.FlagSet) {
 		"keep the -metrics endpoint up this long after the run finishes (for scraping a one-shot run)")
 	fs.StringVar(&f.report, "report", "",
 		"write a JSON run report (config, levels, init cut, refinement gains, transport and arena totals) to this file ('-' for stdout)")
+	fs.BoolVar(&f.reportZero, "report-zero", false,
+		"zero the report's scheduling-dependent fields (wall-clock times, heartbeat counts, arena reuse split) so reports of identical runs compare byte-equal")
 }
 
 func (f *obsFlags) enabled() bool { return f.metrics != "" || f.report != "" }
@@ -136,6 +139,9 @@ func (o *runObs) finish(res core.Result) error {
 	if o.reporter != nil {
 		rep := o.reporter.Finish(res, o.stats, o.arena)
 		rep.Faults = obs.FaultSection(o.counters)
+		if o.flags.reportZero {
+			rep.ZeroTimes()
+		}
 		out := os.Stdout
 		if o.flags.report != "-" {
 			f, err := os.Create(o.flags.report)

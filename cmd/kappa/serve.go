@@ -12,8 +12,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/graph"
 	"repro/internal/part"
 	"repro/internal/remote"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -28,6 +30,7 @@ func runServe(args []string) {
 	var (
 		inFile   = fs.String("in", "", "input graph file (METIS or binary; format sniffed)")
 		genSpec  = fs.String("gen", "", "generator spec (see kappa -gen)")
+		shards   = fs.String("shards", "", "serve from an on-disk shard store directory (kappa shard output); the coordinator streams shard files and never materializes the global adjacency")
 		k        = fs.Int("k", 2, "number of blocks")
 		preset   = fs.String("preset", "fast", "minimal | fast | strong")
 		eps      = fs.Float64("eps", 0.03, "allowed imbalance")
@@ -53,9 +56,34 @@ func runServe(args []string) {
 		wire.SetMaxFrame(*maxFrame)
 	}
 
-	g, err := loadGraph(*inFile, *genSpec)
-	if err != nil {
-		fail(err)
+	// Input: a graph (-in/-gen) the coordinator holds in memory, or a shard
+	// store (-shards) it streams from disk. With -shards the graph variable
+	// is a memory-mapped view of the store's CSR segment — observability and
+	// the summary read through it at O(1) heap cost.
+	var g *graph.Graph
+	var st *store.Store
+	switch {
+	case *shards != "":
+		if *inFile != "" || *genSpec != "" {
+			fail(fmt.Errorf("%w: -shards replaces -in/-gen (the store IS the graph)", core.ErrInvalidConfig))
+		}
+		var err error
+		st, err = store.Open(*shards)
+		if err != nil {
+			fail(err)
+		}
+		mg, err := st.MapGraph()
+		if err != nil {
+			fail(err)
+		}
+		defer mg.Close()
+		g = mg.G
+	default:
+		var err error
+		g, err = loadGraph(*inFile, *genSpec)
+		if err != nil {
+			fail(err)
+		}
 	}
 	variant, err := parsePreset(*preset)
 	if err != nil {
@@ -71,6 +99,25 @@ func runServe(args []string) {
 	}
 	cfg.Distribution = strategy
 	cfg.Coarsen = core.CoarsenDistributed
+	if st != nil {
+		// Adopt the manifest's shape before anything sizes itself off cfg
+		// (transport stats, the handshake's worker count, the report). A
+		// conflicting -pes or -dist fails here rather than mid-handshake.
+		m := st.Manifest()
+		if cfg.PEs != 0 && cfg.PEs != m.PEs {
+			fail(fmt.Errorf("%w: -pes %d but the store holds %d shards", core.ErrInvalidConfig, cfg.PEs, m.PEs))
+		}
+		cfg.PEs = m.PEs
+		mstrat, err := dist.ParseStrategy(m.Strategy)
+		if err != nil {
+			fail(err)
+		}
+		if strategy != mstrat && strategy != dist.StrategyAuto {
+			fail(fmt.Errorf("%w: -dist %s but the shards were extracted under %s", core.ErrInvalidConfig, strategy, mstrat))
+		}
+		strategy = mstrat
+		cfg.Distribution = mstrat
+	}
 
 	// SIGINT/SIGTERM cancel the coordination context: workers see the
 	// connection close, cleanup runs, and the process exits 1.
@@ -106,7 +153,12 @@ func runServe(args []string) {
 		Heartbeat:     *hbeat,
 		Counters:      counters,
 	}
-	res, err := remote.ServeWith(ctx, ln, g, cfg, so, opts...)
+	var res core.Result
+	if st != nil {
+		res, err = remote.ServeStore(ctx, ln, st, cfg, so, opts...)
+	} else {
+		res, err = remote.ServeWith(ctx, ln, g, cfg, so, opts...)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -117,6 +169,9 @@ func runServe(args []string) {
 	sum := ob.summaryWriter()
 	fmt.Fprintf(sum, "graph     n=%d m=%d\n", g.NumNodes(), g.NumEdges())
 	fmt.Fprintf(sum, "preset    %s (k=%d, eps=%.2f, dist=%s, pes=%d workers)\n", variant, *k, *eps, strategy, cfg.NumPEs())
+	if st != nil {
+		fmt.Fprintf(sum, "store     %s (%d shards streamed, global CSR memory-mapped)\n", *shards, counters.Snapshot().ShardsStreamed)
+	}
 	if s := counters.Snapshot(); s.WorkerFailures+s.Reassignments+s.LocalFallbacks+s.LevelRetries > 0 {
 		fmt.Fprintf(sum, "faults    workers_failed=%d reassigned=%d level_retries=%d local_fallbacks=%d\n",
 			s.WorkerFailures, s.Reassignments, s.LevelRetries, s.LocalFallbacks)

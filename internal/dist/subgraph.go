@@ -120,6 +120,16 @@ func Extract(g *graph.Graph, assign []int32, pe int32) *Subgraph {
 	return extractOwned(g, assign, pe, owned)
 }
 
+// ExtractOwned is Extract with the PE's owned-node list precomputed (in
+// ascending global id order, as one bucketing pass over assign produces
+// it). It lets a caller that extracts many PEs sequentially — the shard
+// store writer, which bounds how many subgraphs are alive at once — pay
+// the O(n) ownership scan once instead of once per PE, while producing
+// bytes identical to Extract and ExtractAll.
+func ExtractOwned(g *graph.Graph, assign []int32, pe int32, owned []int32) *Subgraph {
+	return extractOwned(g, assign, pe, owned)
+}
+
 // extractOwned builds the subgraph from a precomputed owned-node list (in
 // ascending global id order).
 func extractOwned(g *graph.Graph, assign []int32, pe int32, owned []int32) *Subgraph {

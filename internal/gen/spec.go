@@ -83,6 +83,12 @@ func FromSpec(spec string) (*graph.Graph, error) {
 		}
 		return Banded(n, 10, 30, 0.7, 1), nil
 	default:
+		if strings.ContainsAny(spec, `/\`) {
+			// A path is a frequent mix-up: graph files belong to -in (or a
+			// graph_file job field), shard directories to the shard-store
+			// entry points — never to a generator spec.
+			return nil, fmt.Errorf("gen: %q names a file path, not a generator; pass graph files via -in and shard directories via -shards", spec)
+		}
 		return nil, fmt.Errorf("gen: unknown generator %q", kind)
 	}
 }

@@ -333,6 +333,33 @@ func FromCSRUnchecked(xadj []int32, adj []int32, ewgt []int64, nwgt []int64,
 	}
 }
 
+// CSRAggregates carries the precomputed per-graph facts FromCSRTrusted
+// adopts alongside the CSR arrays: the totals FromCSR would re-scan 2m
+// edges to derive, and whether the adjacency lists are strictly sorted
+// (which enables the binary-search fast path of EdgeWeightTo).
+type CSRAggregates struct {
+	TotalNodeWeight int64
+	TotalEdgeWeight int64 // each undirected edge counted once
+	MaxNodeWeight   int64
+	AdjSorted       bool
+}
+
+// FromCSRTrusted adopts CSR arrays with NO validation and NO scans, like
+// FromCSRUnchecked, but with the aggregates supplied as a struct that also
+// preserves the adjacency-sorted flag. It exists for graphs whose arrays
+// are views over a memory-mapped file: the shard store records the
+// aggregates in its manifest at write time, and re-scanning the arrays here
+// would page the whole mapping in — defeating the point of mapping it.
+func FromCSRTrusted(xadj []int32, adj []int32, ewgt []int64, nwgt []int64, agg CSRAggregates) *Graph {
+	return &Graph{
+		xadj: xadj, adj: adj, ewgt: ewgt, nwgt: nwgt,
+		totalNodeWeight: agg.TotalNodeWeight,
+		totalEdgeWeight: agg.TotalEdgeWeight,
+		maxNodeWeight:   agg.MaxNodeWeight,
+		adjSorted:       agg.AdjSorted,
+	}
+}
+
 // Validate checks structural invariants that FromCSR does not: no self
 // loops, no parallel edges (adjacency lists strictly sorted after sorting),
 // and symmetry of both adjacency and weights. Intended for tests and for

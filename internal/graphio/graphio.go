@@ -128,6 +128,12 @@ func ReadFile(path string) (*graph.Graph, error) {
 		return nil, err
 	}
 	defer f.Close()
+	if fi, err := f.Stat(); err == nil && fi.IsDir() {
+		// A directory here is almost always a shard store (kappa shard's
+		// output); reading it as a graph file can only fail, so name the
+		// right entry point instead of surfacing a raw EISDIR.
+		return nil, fmt.Errorf("graphio: %s is a directory, not a graph file; shard stores are served with the shard-store entry points (kappa serve -shards, store.Open)", path)
+	}
 	return Read(f, FormatAuto)
 }
 

@@ -19,6 +19,7 @@ type Counters struct {
 	HeartbeatsSent atomic.Int64 // coordinator → worker heartbeat frames
 	HeartbeatsRecv atomic.Int64 // worker → coordinator heartbeat frames
 	DoneFailures   atomic.Int64 // final-partition broadcasts that failed (non-fatal)
+	ShardsStreamed atomic.Int64 // level-0 shard files spliced to workers without decoding (ServeStore)
 }
 
 // CounterSnapshot is a plain-value copy of Counters, for reports.
@@ -30,6 +31,7 @@ type CounterSnapshot struct {
 	HeartbeatsSent int64
 	HeartbeatsRecv int64
 	DoneFailures   int64
+	ShardsStreamed int64
 }
 
 // Snapshot copies the current counter values; nil-safe (all zeros).
@@ -45,5 +47,6 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		HeartbeatsSent: c.HeartbeatsSent.Load(),
 		HeartbeatsRecv: c.HeartbeatsRecv.Load(),
 		DoneFailures:   c.DoneFailures.Load(),
+		ShardsStreamed: c.ShardsStreamed.Load(),
 	}
 }

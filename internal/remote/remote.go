@@ -58,6 +58,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -117,6 +118,15 @@ type coordinator struct {
 	local    bool           // all shards run coordinator-locally from now on
 	localT   dist.Transport // lazily built Exchanger for local mode
 	degraded bool           // any failure happened; hub teardown errors are expected
+
+	// Shard-store serving (ServeStore). When store is set and the level's
+	// current graph IS the fine graph, remoteLevel splices each PE's stored
+	// shard bytes into its job frame instead of extracting subgraphs from
+	// the global adjacency; spliceSem (capacity 1) serializes load+send so
+	// at most one shard's bytes are resident at a time.
+	store     *store.Store
+	fine      *graph.Graph
+	spliceSem chan struct{}
 }
 
 // Serve runs the full pipeline for g with the contraction phase distributed
@@ -143,13 +153,15 @@ func ServeMetered(ctx context.Context, ln net.Listener, g *graph.Graph, cfg core
 
 // ServeWith is Serve with explicit fault-tolerance options.
 func ServeWith(ctx context.Context, ln net.Listener, g *graph.Graph, cfg core.Config, so ServeOptions, opts ...core.Option) (core.Result, error) {
-	pes := cfg.NumPEs()
-	cfg.Coarsen = core.CoarsenDistributed
+	return newCoordinator(cfg.NumPEs(), ln, so).serve(ctx, g, cfg, opts...)
+}
+
+// newCoordinator builds a coordinator for pes workers on ln.
+func newCoordinator(pes int, ln net.Listener, so ServeOptions) *coordinator {
 	if so.Counters == nil {
 		so.Counters = &Counters{}
 	}
-
-	co := &coordinator{
+	return &coordinator{
 		pes:      pes,
 		ln:       ln,
 		opts:     so,
@@ -157,6 +169,15 @@ func ServeWith(ctx context.Context, ln net.Listener, g *graph.Graph, cfg core.Co
 		workers:  make([]*workerConn, pes),
 		owner:    make([]int, pes),
 	}
+}
+
+// serve runs the coordinator's full session: handshake, pipeline, final
+// broadcast. cfg.Coarsen is forced to CoarsenDistributed — the only mode
+// with a per-PE kernel to distribute.
+func (co *coordinator) serve(ctx context.Context, g *graph.Graph, cfg core.Config, opts ...core.Option) (core.Result, error) {
+	pes := co.pes
+	cfg.Coarsen = core.CoarsenDistributed
+	so := co.opts
 	var transportConns []net.Conn
 	var connMu sync.Mutex
 	closeAll := func() {
@@ -180,7 +201,7 @@ func ServeWith(ctx context.Context, ln net.Listener, g *graph.Graph, cfg core.Co
 	// Abort path: tear down everything the moment the context dies, so no
 	// read below can block past cancellation.
 	stop := context.AfterFunc(ctx, func() {
-		ln.Close()
+		co.ln.Close()
 		closeAll()
 	})
 	defer stop()
@@ -197,8 +218,8 @@ func ServeWith(ctx context.Context, ln net.Listener, g *graph.Graph, cfg core.Co
 	nextPE := 0
 	haveTransport := 0
 	for nextPE < pes || haveTransport < pes {
-		armListener(ln, so.WorkerTimeout)
-		conn, err := ln.Accept()
+		armListener(co.ln, so.WorkerTimeout)
+		conn, err := co.ln.Accept()
 		if err != nil {
 			return core.Result{}, workerErr(-1, "handshake",
 				fmt.Errorf("waiting for workers (%d/%d control, %d/%d transport): %w",
@@ -251,7 +272,7 @@ func ServeWith(ctx context.Context, ln net.Listener, g *graph.Graph, cfg core.Co
 			haveTransport++
 		}
 	}
-	armListener(ln, 0)
+	armListener(co.ln, 0)
 	co.hub = hub
 	co.hubErr = make(chan error, 1)
 	go func() { co.hubErr <- hub.Route() }()
@@ -423,10 +444,19 @@ type outcome struct {
 // a superstep the dead peer will never complete abort their kernels and
 // answer with level-aborted frames instead of results.
 func (co *coordinator) remoteLevel(cur *graph.Graph, cfg *core.Config, blocks []int32, level int, maxPair int64) (*graph.Graph, []int32, time.Duration, time.Duration, error) {
-	if blocks == nil {
-		blocks = make([]int32, cur.NumNodes())
+	// Shard-store fast path: at level 0 the stored shard files already hold
+	// the exact bytes AppendJob would produce for this level's subgraphs
+	// (Store.Write extracts under the manifest's distribution strategy), so
+	// the coordinator splices file bytes behind a job header instead of
+	// materializing any subgraph from the global adjacency.
+	splice := co.store != nil && cur == co.fine
+	var sgs []*dist.Subgraph
+	if !splice {
+		if blocks == nil {
+			blocks = make([]int32, cur.NumNodes())
+		}
+		sgs = dist.ExtractAll(cur, blocks, co.pes)
 	}
-	sgs := dist.ExtractAll(cur, blocks, co.pes)
 
 	live := co.liveWorkers()
 	outcomes := make(chan outcome, co.pes)
@@ -446,6 +476,22 @@ func (co *coordinator) remoteLevel(cur *graph.Graph, cfg *core.Config, blocks []
 				pending[pe] = true
 			}
 			for _, pe := range w.hosted {
+				if splice {
+					if err := co.spliceJob(w, pe, level, cfg.Seed, maxPair); err != nil {
+						var we *WorkerError
+						if !errors.As(err, &we) {
+							// The shard file, not the worker, failed: fatal to
+							// the run (a retry would re-read the same bytes),
+							// and the worker stays alive.
+							co.abortLevel(outcomes, pending, err)
+						} else {
+							co.failWorker(w, outcomes, pending, we)
+						}
+						failed()
+						return
+					}
+					continue
+				}
 				job := wire.Job{
 					Level:   level,
 					Seed:    cfg.Seed + uint64(level)*101,
@@ -554,6 +600,45 @@ func (co *coordinator) remoteLevel(cur *graph.Graph, cfg *core.Config, blocks []
 	}
 	cg, f2c := coarsen.Stitch(cur, parts)
 	return cg, f2c, matchT, time.Duration(contractNanos), nil
+}
+
+// spliceJob ships PE pe its level-0 job by splicing the stored shard file's
+// bytes behind a freshly encoded job header — byte-identical to AppendJob on
+// the extracted subgraph, with zero decoding and no global adjacency touch.
+// The capacity-1 semaphore spans load and send, so the coordinator holds at
+// most one shard's bytes at any moment regardless of worker count. Send
+// failures come back as *WorkerError (the worker is at fault and the level
+// can retry elsewhere); load failures come back plain (the store is at
+// fault, retrying cannot help).
+func (co *coordinator) spliceJob(w *workerConn, pe, level int, runSeed uint64, maxPair int64) error {
+	co.spliceSem <- struct{}{}
+	defer func() { <-co.spliceSem }()
+	data, err := co.store.ShardBytes(pe)
+	if err != nil {
+		return fmt.Errorf("remote: loading shard %d: %w", pe, err)
+	}
+	payload := wire.AppendJobHeader(make([]byte, 0, len(data)+32), level, runSeed+uint64(level)*101, maxPair)
+	payload = append(payload, data...)
+	if err := co.writeCtrl(w, wire.KindJob, payload); err != nil {
+		return workerErr(w.id, "job", err)
+	}
+	co.counters.ShardsStreamed.Add(1)
+	return nil
+}
+
+// abortLevel emits a fatal (non-worker) error outcome for every PE still
+// pending, keeping the collector's outcome count exact without declaring
+// any worker dead. PEs are emitted in ascending order so the error a failed
+// run reports does not depend on map iteration order.
+func (co *coordinator) abortLevel(outcomes chan<- outcome, pending map[int]bool, err error) {
+	pes := make([]int, 0, len(pending))
+	for pe := range pending {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	for _, pe := range pes {
+		outcomes <- outcome{pe: pe, err: err}
+	}
 }
 
 // failWorker declares w dead mid-attempt and emits an error outcome for
@@ -708,7 +793,15 @@ func (co *coordinator) localLevel(cur *graph.Graph, cfg *core.Config, blocks []i
 		co.localT = dist.Metered(dist.NewExchanger(co.pes), co.opts.Stats)
 	}
 	if blocks == nil {
-		blocks = make([]int32, cur.NumNodes())
+		if co.store != nil && cur == co.fine {
+			// Store mode skips the level-0 assignment (the shards embody it);
+			// the degraded local path has to reconstruct it — this is the one
+			// path where a store-served coordinator computes over the full
+			// fine graph, accepted in exchange for finishing the run.
+			blocks = dist.Assign(cur, cfg.Distribution, co.pes)
+		} else {
+			blocks = make([]int32, cur.NumNodes())
+		}
 	}
 	tm := time.Now()
 	sgs := dist.ExtractAll(cur, blocks, co.pes)

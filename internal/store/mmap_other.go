@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mapFile(_ *os.File, _ int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("store: memory mapping unsupported on this platform")
+}

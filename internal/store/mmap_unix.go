@@ -1,0 +1,25 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and returns the mapping with its
+// release function. The mapping outlives f — closing the file descriptor
+// does not invalidate mapped pages.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("store: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

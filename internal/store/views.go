@@ -1,0 +1,41 @@
+package store
+
+import (
+	"math"
+	"unsafe"
+)
+
+// The mapped fast path reinterprets file bytes as typed slices, which is
+// only a view (not a decode) when the host's in-memory layout matches the
+// file's: little-endian, natural alignment. The layout guarantees 8-byte
+// section alignment; endianness is checked once at startup and big-endian
+// hosts take the portable heap decoder instead.
+
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func int32View(data []byte, off, count int64) []int32 {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&data[off])), count)
+}
+
+func int64View(data []byte, off, count int64) []int64 {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&data[off])), count)
+}
+
+func float64View(data []byte, off, count int64) []float64 {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&data[off])), count)
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

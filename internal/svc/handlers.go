@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // JobSpec is the submit-request body. Fields mirror the kappa CLI flags
@@ -34,6 +35,13 @@ type JobSpec struct {
 	// Graph is an inline METIS-format graph, for clients that ship the
 	// input in the request. Bounded by the server's max body size.
 	Graph string `json:"graph,omitempty"`
+	// ShardDir names a server-side shard store directory (kappa shard
+	// output), the serve subcommand's -shards. The global graph is
+	// memory-mapped from the store's CSR segment, and the manifest's shard
+	// count and distribution strategy are adopted into the job's config —
+	// a conflicting pes or dist is rejected at submit time. Confined to the
+	// server's graph directory like graph_file.
+	ShardDir string `json:"shard_dir,omitempty"`
 
 	K       int     `json:"k"`
 	Preset  string  `json:"preset,omitempty"`  // minimal | fast | strong; default fast
@@ -67,6 +75,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -158,7 +167,7 @@ func retryAfterSeconds(d time.Duration) string {
 // or the byte-identity contract between API jobs and one-shot runs breaks.
 func (s *Server) buildJob(spec *JobSpec) (*graph.Graph, core.Config, time.Duration, error) {
 	var zero core.Config
-	g, err := s.resolveGraph(spec)
+	g, man, err := s.resolveGraph(spec)
 	if err != nil {
 		return nil, zero, 0, err
 	}
@@ -183,6 +192,23 @@ func (s *Server) buildJob(spec *JobSpec) (*graph.Graph, core.Config, time.Durati
 		return nil, zero, 0, err
 	}
 	cfg.Coarsen = mode
+	if man != nil {
+		// A shard-store job adopts the manifest's shape, exactly like
+		// `kappa serve -shards`: the store's shard count and extraction
+		// strategy are facts of the input, not knobs of the request.
+		if cfg.PEs != 0 && cfg.PEs != man.PEs {
+			return nil, zero, 0, fmt.Errorf("pes %d, but shard store %q holds %d shards", cfg.PEs, spec.ShardDir, man.PEs)
+		}
+		cfg.PEs = man.PEs
+		mstrat, err := dist.ParseStrategy(man.Strategy)
+		if err != nil {
+			return nil, zero, 0, err
+		}
+		if strategy != mstrat && strategy != dist.StrategyAuto {
+			return nil, zero, 0, fmt.Errorf("dist %s, but shard store %q was extracted under %s", strategy, spec.ShardDir, mstrat)
+		}
+		cfg.Distribution = mstrat
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, zero, 0, err
 	}
@@ -204,42 +230,71 @@ func (s *Server) buildJob(spec *JobSpec) (*graph.Graph, core.Config, time.Durati
 	return g, cfg, timeout, nil
 }
 
-// resolveGraph loads the job's input from exactly one of the three sources.
-func (s *Server) resolveGraph(spec *JobSpec) (*graph.Graph, error) {
+// resolveGraph loads the job's input from exactly one of the four sources.
+// Shard-store jobs additionally return the store's manifest so buildJob can
+// adopt its shape into the config.
+func (s *Server) resolveGraph(spec *JobSpec) (*graph.Graph, *store.Manifest, error) {
 	sources := 0
-	for _, set := range []bool{spec.Gen != "", spec.GraphFile != "", spec.Graph != ""} {
+	for _, set := range []bool{spec.Gen != "", spec.GraphFile != "", spec.Graph != "", spec.ShardDir != ""} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return nil, fmt.Errorf("job spec must name exactly one graph source (gen, graph_file, or graph), got %d", sources)
+		return nil, nil, fmt.Errorf("job spec must name exactly one graph source (gen, graph_file, graph, or shard_dir), got %d", sources)
 	}
 	switch {
 	case spec.Gen != "":
-		return gen.FromSpec(spec.Gen)
+		g, err := gen.FromSpec(spec.Gen)
+		return g, nil, err
 	case spec.Graph != "":
 		g, err := graphio.ReadMETIS(strings.NewReader(spec.Graph))
 		if err != nil {
-			return nil, fmt.Errorf("inline graph: %w", err)
+			return nil, nil, fmt.Errorf("inline graph: %w", err)
 		}
-		return g, nil
+		return g, nil, nil
+	case spec.ShardDir != "":
+		path, err := s.confine("shard_dir", spec.ShardDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := store.Open(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard_dir: %v", err)
+		}
+		// The mapping stays open for the job's retained lifetime — Status
+		// keeps reading node/edge counts through it — and is released by
+		// MapGraph's GC backstop when the job is evicted from retention.
+		mg, err := st.MapGraph()
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard_dir: %v", err)
+		}
+		return mg.G, st.Manifest(), nil
 	default:
-		path := spec.GraphFile
-		if dir := s.opts.GraphDir; dir != "" {
-			// Confine server-side loads to the configured directory: the
-			// path must be relative and stay inside it after cleaning.
-			if filepath.IsAbs(path) || !filepath.IsLocal(path) {
-				return nil, fmt.Errorf("graph_file %q escapes the served graph directory", path)
-			}
-			path = filepath.Join(dir, path)
+		path, err := s.confine("graph_file", spec.GraphFile)
+		if err != nil {
+			return nil, nil, err
 		}
 		g, err := graphio.ReadFile(path)
 		if err != nil {
-			return nil, fmt.Errorf("graph_file: %v", err)
+			return nil, nil, fmt.Errorf("graph_file: %v", err)
 		}
-		return g, nil
+		return g, nil, nil
 	}
+}
+
+// confine resolves a client-supplied path under the served graph directory:
+// the path must be relative and stay inside it after cleaning. With no
+// configured directory any server-readable path is allowed.
+func (s *Server) confine(field, path string) (string, error) {
+	dir := s.opts.GraphDir
+	if dir == "" {
+		return path, nil
+	}
+	if filepath.IsAbs(path) || !filepath.IsLocal(path) {
+		return "", fmt.Errorf("%s %q escapes the served graph directory", field, path)
+	}
+	return filepath.Join(dir, path), nil
 }
 
 // handleList returns every retained job's status, ordered by job number so

@@ -69,6 +69,10 @@ type Job struct {
 	// done is closed when the job reaches a terminal state; tests and the
 	// drain path wait on it.
 	done chan struct{}
+
+	// events is the job's progress stream: lifecycle transitions and the
+	// run's trace events, served by the SSE endpoint.
+	events *eventLog
 }
 
 // newJob builds a queued job whose deadline clock starts now: time spent
@@ -82,6 +86,7 @@ func newJob(id string, g *graph.Graph, cfg core.Config, parent context.Context, 
 		submitted: time.Now(),
 		state:     StateQueued,
 		done:      make(chan struct{}),
+		events:    newEventLog(),
 	}
 	if timeout > 0 {
 		j.deadline = j.submitted.Add(timeout)
@@ -89,6 +94,7 @@ func newJob(id string, g *graph.Graph, cfg core.Config, parent context.Context, 
 	} else {
 		j.ctx, j.cancel = context.WithCancel(parent)
 	}
+	j.events.state(StateQueued, "")
 	return j
 }
 
@@ -104,6 +110,7 @@ func (j *Job) setRunning(wait time.Duration) bool {
 	j.state = StateRunning
 	j.wait = wait
 	j.started = time.Now()
+	j.events.state(StateRunning, "")
 	return true
 }
 
@@ -129,8 +136,18 @@ func (j *Job) finish(state State, res core.Result, arts *jobArtifacts, err error
 		j.arts = arts
 	}
 	j.mu.Unlock()
+	j.events.state(state, errMsg(err))
+	j.events.close()
 	j.cancel()
 	close(j.done)
+}
+
+// errMsg renders err for the event stream; nil is the empty string.
+func errMsg(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // requestCancel asks the job to stop: a queued job settles canceled
@@ -177,6 +194,7 @@ type Status struct {
 	Levels    int     `json:"levels,omitempty"`
 	Partition string  `json:"partition,omitempty"` // URL path of the result, when done
 	Report    string  `json:"report,omitempty"`    // URL path of the run report, when done
+	Events    string  `json:"events"`              // URL path of the SSE progress stream
 }
 
 // Status snapshots the job for the API.
@@ -184,13 +202,14 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:    j.id,
-		State: j.state,
-		Error: j.errMsg,
-		Nodes: j.g.NumNodes(),
-		Edges: j.g.NumEdges(),
-		K:     j.cfg.K,
-		Seed:  j.cfg.Seed,
+		ID:     j.id,
+		State:  j.state,
+		Error:  j.errMsg,
+		Nodes:  j.g.NumNodes(),
+		Edges:  j.g.NumEdges(),
+		K:      j.cfg.K,
+		Seed:   j.cfg.Seed,
+		Events: "/api/v1/jobs/" + j.id + "/events",
 	}
 	if !j.deadline.IsZero() {
 		st.Deadline = j.deadline.UTC().Format(time.RFC3339Nano)

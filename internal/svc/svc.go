@@ -253,6 +253,9 @@ func (s *Server) runJob(j *Job, arena *mem.Arena) (res core.Result, arts *jobArt
 		core.WithTransportStats(stats),
 		core.WithObserver(obs.NewPipelineObserver(s.opts.Registry)),
 		core.WithObserver(reporter),
+		// The job's SSE stream: every trace event, rendered and sequenced,
+		// while the run is still in flight.
+		core.WithObserver(core.ObserverFunc(j.events.trace)),
 	}
 	res, err = s.opts.run(j.ctx, j.g, j.cfg, opts...)
 	if err != nil {

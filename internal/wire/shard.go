@@ -268,11 +268,22 @@ type Job struct {
 	Shard   *dist.Subgraph
 }
 
+// AppendJobHeader encodes the Job fields that precede the shard: the level,
+// the level seed, and the pair-weight bound. A complete Job payload is this
+// header followed by AppendSubgraph bytes — callers that already hold a
+// shard's encoded bytes (the on-disk store keeps exactly that encoding)
+// splice them after the header instead of decoding and re-encoding the
+// subgraph. AppendJob routes through this helper, so the two paths cannot
+// drift.
+func AppendJobHeader(dst []byte, level int, seed uint64, maxPair int64) []byte {
+	dst = appendUvarint(dst, uint64(level))
+	dst = appendUvarint(dst, seed)
+	return appendZigzag(dst, maxPair)
+}
+
 // AppendJob encodes a Job payload.
 func AppendJob(dst []byte, j Job) ([]byte, error) {
-	dst = appendUvarint(dst, uint64(j.Level))
-	dst = appendUvarint(dst, j.Seed)
-	dst = appendZigzag(dst, j.MaxPair)
+	dst = AppendJobHeader(dst, j.Level, j.Seed, j.MaxPair)
 	return AppendSubgraph(dst, j.Shard)
 }
 

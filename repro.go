@@ -38,6 +38,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/part"
+	"repro/internal/store"
 	"repro/internal/svc"
 )
 
@@ -425,6 +426,40 @@ func Banded(n, blk, band int, fill float64, seed uint64) *Graph {
 // rmat:S, fem:N, banded:N. Specs are validated (sizes bounded, dimensions
 // positive) before any generator runs.
 func GenerateFromSpec(spec string) (*Graph, error) { return gen.FromSpec(spec) }
+
+// ShardStore is the on-disk sharded graph store (kappastore): one
+// wire-encoded subgraph file per PE, a fixed-layout CSR segment of the
+// global graph, and a versioned manifest. It is the out-of-core input format
+// of the serve coordinator (`kappa serve -shards`) and the service's
+// shard_dir jobs — the coordinator streams shard bytes to workers and
+// memory-maps the CSR segment, never materializing the global adjacency on
+// its heap.
+type ShardStore = store.Store
+
+// ShardManifest is the store's versioned metadata document: shard count,
+// distribution strategy, per-shard node/edge counts and checksums, and the
+// CSR segment's layout.
+type ShardManifest = store.Manifest
+
+// ShardWriteOptions configures WriteShards: shard count (one per PE), the
+// node-to-PE distribution strategy, writer concurrency, and the provenance
+// seed recorded in the manifest.
+type ShardWriteOptions = store.WriteOptions
+
+// ShardMappedGraph is a store-backed view of the global graph; when Mapped
+// reports true its CSR arrays alias the memory-mapped segment at O(1) heap
+// cost.
+type ShardMappedGraph = store.MappedGraph
+
+// WriteShards distributes g's nodes across shards and writes a shard store
+// directory — the library form of `kappa shard`.
+func WriteShards(dir string, g *Graph, opts ShardWriteOptions) (*ShardManifest, error) {
+	return store.Write(dir, g, opts)
+}
+
+// OpenShards opens a shard store directory, validating its manifest against
+// the decode budgets; shards load lazily.
+func OpenShards(dir string) (*ShardStore, error) { return store.Open(dir) }
 
 // Service is the embeddable partitioner-as-a-service: the bounded job queue,
 // admission control, per-job deadlines, panic isolation, and graceful drain
